@@ -1,0 +1,270 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the paper at reduced (CI-sized) resolution — one Benchmark per
+// artifact, named after DESIGN.md's experiment index. Full-resolution
+// sweeps live in cmd/adios-bench.
+//
+// Custom metrics carry the figures' headline quantities (peak
+// throughputs in KRPS, tail latencies in µs) so `go test -bench` output
+// can be compared against both the paper and EXPERIMENTS.md.
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/uctx"
+)
+
+func opts() bench.Options {
+	return bench.Options{Short: true, Out: io.Discard, Seed: 1}
+}
+
+func peak(points []bench.Point) bench.Point {
+	var best bench.Point
+	for _, p := range points {
+		if p.TputK > best.TputK {
+			best = p
+		}
+	}
+	return best
+}
+
+// BenchmarkTable1UnithreadSwitch and BenchmarkTable1UcontextSwitch are
+// the two rows of Table 1, run on real hardware.
+func BenchmarkTable1UnithreadSwitch(b *testing.B) {
+	var x, y uctx.LightContext
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		uctx.SwitchLight(&x, &y)
+		uctx.SwitchLight(&y, &x)
+	}
+	b.ReportMetric(80, "ctx_bytes")
+}
+
+func BenchmarkTable1UcontextSwitch(b *testing.B) {
+	var x, y uctx.FullContext
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		uctx.SwitchFull(&x, &y)
+		uctx.SwitchFull(&y, &x)
+	}
+	b.ReportMetric(968, "ctx_bytes")
+}
+
+func BenchmarkFig2a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := bench.Fig2a(opts())
+		b.ReportMetric(peak(series["DiLOS"]).TputK, "dilos_peak_KRPS")
+		b.ReportMetric(peak(series["DiLOS-P"]).TputK, "dilosp_peak_KRPS")
+	}
+}
+
+func BenchmarkFig2b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig2b(opts())
+	}
+}
+
+func BenchmarkFig2c(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig2c(opts())
+		b.ReportMetric(rows[1].TotalKc, "p50_total_Kcycles")
+		b.ReportMetric(rows[3].QueueKc, "p999_queue_Kcycles")
+	}
+}
+
+func BenchmarkFig2d(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := bench.Fig2de(opts())
+		pk := peak(series["DiLOS"])
+		b.ReportMetric(pk.TputK, "dilos_peak_KRPS")
+		b.ReportMetric(pk.LinkUtil*100, "dilos_util_pct")
+	}
+}
+
+func BenchmarkFig7a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := bench.Fig7ab(opts())
+		b.ReportMetric(peak(series["Adios"]).TputK, "adios_peak_KRPS")
+		b.ReportMetric(peak(series["DiLOS"]).TputK, "dilos_peak_KRPS")
+		b.ReportMetric(peak(series["Hermit"]).TputK, "hermit_peak_KRPS")
+	}
+}
+
+func BenchmarkFig7c(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig7c(opts())
+		b.ReportMetric(rows[3].QueueKc, "p999_queue_Kcycles")
+		b.ReportMetric(rows[3].OwnBusyWaitKc, "p999_busywait_Kcycles")
+	}
+}
+
+func BenchmarkFig7d(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := bench.Fig7de(opts())
+		a, d := peak(series["Adios"]), peak(series["DiLOS"])
+		b.ReportMetric(a.TputK/d.TputK, "peak_ratio")
+		b.ReportMetric(a.LinkUtil*100, "adios_util_pct")
+		b.ReportMetric(d.LinkUtil*100, "dilos_util_pct")
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig8(opts())
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := bench.Fig9(opts())
+		b.ReportMetric(peak(series["Adios"]).TputK/peak(series["Adios-SyncTx"]).TputK,
+			"delegation_peak_ratio")
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Table2(opts())
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := bench.Fig10(opts())
+		b.ReportMetric(peak(series["128B"]["Adios"]).TputK, "adios128_peak_KRPS")
+		b.ReportMetric(peak(series["128B"]["DiLOS"]).TputK, "dilos128_peak_KRPS")
+		b.ReportMetric(peak(series["1024B"]["Adios"]).TputK, "adios1024_peak_KRPS")
+	}
+}
+
+func BenchmarkFig10e(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := bench.Fig10e(opts())
+		pf, rr := series["PF-Aware"], series["RR"]
+		b.ReportMetric(pf[len(pf)-1].P999us, "pfaware_p999_us")
+		b.ReportMetric(rr[len(rr)-1].P999us, "rr_p999_us")
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := bench.Fig11(opts())
+		b.ReportMetric(peak(series["Adios"]).TputK, "adios_peak_KRPS")
+		b.ReportMetric(peak(series["DiLOS"]).TputK, "dilos_peak_KRPS")
+		b.ReportMetric(peak(series["DiLOS-P"]).TputK, "dilosp_peak_KRPS")
+	}
+}
+
+func BenchmarkFig11e(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig11e(opts())
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := bench.Fig12(opts())
+		b.ReportMetric(peak(series["Adios"]).TputK, "adios_peak_KRPS")
+		b.ReportMetric(peak(series["DiLOS"]).TputK, "dilos_peak_KRPS")
+	}
+}
+
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := bench.Fig13(opts())
+		b.ReportMetric(peak(series["Adios"]).TputK*1000, "adios_peak_RPS")
+		b.ReportMetric(peak(series["DiLOS"]).TputK*1000, "dilos_peak_RPS")
+	}
+}
+
+// Ablation and extension benches (DESIGN.md §5).
+
+func BenchmarkAblPrefetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblPrefetch(opts())
+	}
+}
+
+func BenchmarkAblReclaim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblReclaim(opts())
+	}
+}
+
+func BenchmarkAblCompute(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := bench.AblCompute(opts())
+		b.ReportMetric(peak(series["yield"]).TputK/peak(series["busy-wait"]).TputK, "yield_vs_busywait")
+	}
+}
+
+func BenchmarkAblWorkers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblWorkers(opts())
+	}
+}
+
+func BenchmarkAblQuantum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblQuantum(opts())
+	}
+}
+
+func BenchmarkAblPool(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblPool(opts())
+	}
+}
+
+func BenchmarkInfiniswap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := bench.Infiniswap(opts())
+		b.ReportMetric(peak(series["Infiniswap"]).TputK, "infiniswap_peak_KRPS")
+	}
+}
+
+func BenchmarkAblTwoSided(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := bench.AblTwoSided(opts())
+		b.ReportMetric(peak(series["one-sided"]).TputK/peak(series["two-sided"]).TputK,
+			"onesided_advantage")
+	}
+}
+
+func BenchmarkAblSteal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblSteal(opts())
+	}
+}
+
+func BenchmarkAblIPI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblIPI(opts())
+	}
+}
+
+func BenchmarkAblEvict(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblEvict(opts())
+	}
+}
+
+func BenchmarkAblHugePage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblHugePage(opts())
+	}
+}
+
+func BenchmarkAblCanvas(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblCanvas(opts())
+	}
+}
+
+func BenchmarkAblMultiDispatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblMultiDispatch(opts())
+	}
+}

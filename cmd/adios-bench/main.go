@@ -1,0 +1,67 @@
+// Command adios-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	adios-bench -exp fig7a            # one experiment at full resolution
+//	adios-bench -exp all -short       # the whole suite, CI-sized
+//	adios-bench -list                 # list experiment ids
+//
+// Experiment ids follow DESIGN.md's per-experiment index (table1, fig2a,
+// fig2b, fig2c, fig2d, fig7a, fig7c, fig7d, fig8, fig9, table2, fig10,
+// fig10e, fig11, fig11e, fig12, fig13, plus the abl-* ablations and the
+// infiniswap extension).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id, or 'all'")
+	short := flag.Bool("short", false, "reduced sweeps and dataset sizes")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	doPlot := flag.Bool("plot", false, "render ASCII charts of each sweep")
+	csvPath := flag.String("csv", "", "also write measured points as CSV to this file")
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.All() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "adios-bench: -exp required (use -list for ids, or 'all')")
+		os.Exit(2)
+	}
+
+	opt := bench.Options{Short: *short, Out: os.Stdout, Seed: *seed, Plot: *doPlot}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adios-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		fmt.Fprintln(f, "experiment,system,offered_KRPS,tput_KRPS,p50_us,p99_us,p999_us,link_util,drops")
+		opt.CSV = f
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bench.All()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := bench.Run(id, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "adios-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("## %s done in %s\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,179 @@
+// Command adios-sim runs one system × workload × load operating point
+// and reports throughput, latency percentiles, link utilization, fault
+// statistics, and (optionally) the latency CDF.
+//
+// Examples:
+//
+//	adios-sim -mode adios -app micro -rps 1300000
+//	adios-sim -mode dilos -app rocksdb -rps 300000 -ms 200
+//	adios-sim -mode adios -app tpcc -rps 120000 -local 0.1 -cdf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/kvs"
+	"repro/internal/sim"
+	"repro/internal/sstable"
+	"repro/internal/tpcc"
+	"repro/internal/trace"
+	"repro/internal/vecdb"
+	"repro/internal/workload"
+)
+
+var modes = map[string]core.Mode{
+	"adios":      core.Adios,
+	"dilos":      core.DiLOS,
+	"dilos-p":    core.DiLOSP,
+	"hermit":     core.Hermit,
+	"infiniswap": core.Infiniswap,
+}
+
+func main() {
+	modeName := flag.String("mode", "adios", "system: adios|dilos|dilos-p|hermit|infiniswap")
+	appName := flag.String("app", "micro", "workload: micro|memcached128|memcached1024|rocksdb|tpcc|faiss")
+	rps := flag.Float64("rps", 1_000_000, "offered load, requests/second")
+	local := flag.Float64("local", 0.20, "local DRAM as a fraction of the working set")
+	ms := flag.Float64("ms", 0, "measurement window in simulated ms (0 = auto)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	cdf := flag.Bool("cdf", false, "print the e2e latency CDF")
+	traceOut := flag.String("trace", "", "write a chrome://tracing / Perfetto trace of the run to this file")
+	flag.Parse()
+
+	mode, ok := modes[strings.ToLower(*modeName)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "adios-sim: unknown mode %q\n", *modeName)
+		os.Exit(2)
+	}
+
+	// Build the app against a sizing probe first to learn its footprint.
+	probe := core.NewSystem(core.Preset(mode, 1<<22))
+	probeApp, size := buildApp(probe, *appName)
+	_ = probeApp
+
+	cfg := core.Preset(mode, int64(*local*float64(size)))
+	cfg.Seed = *seed
+	sys := core.NewSystem(cfg)
+	app, _ := buildApp(sys, *appName)
+	if w, ok := app.(interface{ WarmCache() }); ok {
+		w.WarmCache()
+	}
+	sys.Start(app.Handler())
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.New(0)
+		sys.Sched.Trace = rec
+	}
+
+	window := *ms
+	if window == 0 {
+		window = 60_000 / (*rps / 1000) // ~60K samples
+		if window < 20 {
+			window = 20
+		}
+		if window > 2000 {
+			window = 2000
+		}
+	}
+	res := sys.Run(app, *rps, sim.Millis(window/4), sim.Millis(window))
+
+	fmt.Printf("system      %s\n", mode)
+	fmt.Printf("workload    %s (%.1f MiB working set, %.0f%% local)\n",
+		app.Name(), float64(size)/(1<<20), *local*100)
+	fmt.Printf("offered     %.0f RPS for %.0f ms (+%.0f ms warm-up)\n", *rps, window, window/4)
+	fmt.Printf("throughput  %.0f RPS\n", res.TputK*1000)
+	fmt.Printf("latency     p50=%.1fus p99=%.1fus p99.9=%.1fus mean=%.1fus\n",
+		res.P50us, res.P99us, res.P999us, res.MeanUs)
+	fmt.Printf("rdma        link-util=%.1f%% faults=%d reads=%d writes=%d\n",
+		res.LinkUtil*100, res.Faults, sys.NIC.Reads.Value(), sys.NIC.Writes.Value())
+	fmt.Printf("paging      evictions=%d writebacks=%d stalls=%d resident-frames=%d/%d\n",
+		sys.Mgr.Evictions.Value(), sys.Mgr.DirtyWritebacks.Value(), sys.Mgr.AllocStalls.Value(),
+		sys.Mgr.TotalFrames()-sys.Mgr.FreeFrames(), sys.Mgr.TotalFrames())
+	fmt.Printf("drops       %d (rx=%d queue=%d pool=%d)\n", res.Drops,
+		sys.Net.Drops.Value(), sys.Sched.DropsQueue.Value(), sys.Sched.DropsPool.Value())
+	fmt.Printf("cpu         worker-cycles=%d busy-wait-cycles=%d dispatcher-cycles=%d\n",
+		sys.Sched.CPUCycles(), sys.Sched.BusyWaitCycles(), sys.Sched.DispatcherCycles())
+	// Core utilization over the driven interval (warm-up + measurement),
+	// excluding the post-run drain.
+	elapsed := float64(sim.Millis(window * 1.25))
+	fmt.Printf("cores      ")
+	for _, w := range sys.Sched.Workers() {
+		fmt.Printf(" w%d=%.0f%%", w.ID(), float64(w.BusyCycles())/elapsed*100)
+	}
+	fmt.Printf(" disp=%.0f%%\n", float64(sys.Sched.DispatcherCycles())/elapsed*100)
+	for _, class := range sortedClassNames(res) {
+		h := res.Gen.ByClass[class]
+		fmt.Printf("class %-9s n=%-8d p50=%.1fus p99=%.1fus p99.9=%.1fus\n",
+			class, h.Count(), sim.Time(h.P50()).Micros(), sim.Time(h.P99()).Micros(),
+			sim.Time(h.P999()).Micros())
+	}
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adios-sim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rec.WriteJSON(f, cfg.Sched.Workers, cfg.Sched.Dispatchers); err != nil {
+			fmt.Fprintf(os.Stderr, "adios-sim: %v\n", err)
+		}
+		f.Close()
+		fmt.Printf("trace       %d spans -> %s (open in chrome://tracing)\n", rec.Len(), *traceOut)
+	}
+	if *cdf {
+		fmt.Println("latency_us cdf")
+		points := res.Gen.E2E.CDF()
+		step := len(points)/40 + 1
+		for i := 0; i < len(points); i += step {
+			fmt.Printf("%.1f %.4f\n", sim.Time(points[i].Value).Micros(), points[i].Fraction)
+		}
+	}
+}
+
+func sortedClassNames(res core.RunResult) []string {
+	var names []string
+	for k := range res.Gen.ByClass {
+		names = append(names, k)
+	}
+	for i := range names {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	return names
+}
+
+// buildApp constructs the named workload inside sys and returns it with
+// its working-set size.
+func buildApp(sys *core.System, name string) (workload.App, int64) {
+	switch strings.ToLower(name) {
+	case "micro":
+		const size = 64 << 20
+		app := workload.NewArrayApp(sys.Mgr, sys.Node, size)
+		return app, size
+	case "memcached128":
+		s := kvs.New(sys.Mgr, sys.Node, kvs.DefaultConfig(700_000, 128))
+		return s, s.SpaceSize()
+	case "memcached1024":
+		s := kvs.New(sys.Mgr, sys.Node, kvs.DefaultConfig(160_000, 1024))
+		return s, s.SpaceSize()
+	case "rocksdb":
+		t := sstable.New(sys.Mgr, sys.Node, sstable.DefaultConfig(180_000, 1024))
+		return t, t.SpaceSize()
+	case "tpcc":
+		db := tpcc.New(sys.Env, sys.Mgr, sys.Node, tpcc.DefaultConfig(2))
+		return db, db.TotalBytes()
+	case "faiss":
+		idx := vecdb.New(sys.Mgr, sys.Node, vecdb.DefaultConfig(250_000))
+		return idx, idx.SpaceSize()
+	default:
+		fmt.Fprintf(os.Stderr, "adios-sim: unknown app %q\n", name)
+		os.Exit(2)
+		return nil, 0
+	}
+}

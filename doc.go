@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "Adios to
+// Busy-Waiting for Microsecond-scale Memory Disaggregation" (EuroSys
+// 2025): a deterministic, cycle-accurate simulation of a paging-based
+// memory-disaggregation compute node with a real data plane, the four
+// systems the paper evaluates (Adios, DiLOS, DiLOS-P, Hermit), the four
+// application substrates (Memcached-, RocksDB-, Silo/TPC-C-, and
+// Faiss-class), and a harness regenerating every table and figure of
+// the paper's evaluation.
+//
+// Start with README.md; DESIGN.md maps every paper artifact to a
+// module; EXPERIMENTS.md records paper-vs-measured results. The root
+// package holds one testing.B benchmark per table/figure (bench_test.go).
+package repro

@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/memnode"
+	"repro/internal/paging"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/sstable"
+	"repro/internal/workload"
+)
+
+// The ablations exercise design choices DESIGN.md calls out and the
+// paper's §6 limitations: prefetching, proactive reclamation, the
+// compute-bound blind spot of cooperative scheduling, dispatcher
+// scalability, the preemption quantum, and the unithread pool size.
+
+// AblPrefetch compares readahead policies on the scan-heavy RocksDB
+// workload: none, fixed sequential, and Leap-style trend detection [44].
+// Prefetching mostly hides SCAN fetch latency while leaving random GETs
+// untouched; Leap matches sequential on scans without wasting bandwidth
+// on the random GETs.
+func AblPrefetch(opt Options) map[string][]Point {
+	loads := opt.loads([]float64{300, 500, 700})
+	mk := func(mut mutator) builder {
+		cfg := sstable.DefaultConfig(sstableKeys(opt.Short), 1024)
+		var size int64
+		return buildPreset(0.20, mut,
+			func(sys *core.System) workload.App {
+				tab := sstable.New(sys.Mgr, sys.Node, cfg)
+				tab.WarmCache()
+				size = tab.SpaceSize()
+				return tab
+			}, func() int64 {
+				if size == 0 {
+					probe := core.NewSystem(core.Preset(core.Adios, 1<<22))
+					size = sstable.New(probe.Mgr, probe.Node, cfg).SpaceSize()
+				}
+				return size
+			})
+	}
+	off := opt.sweep(mk(nil), []core.Mode{core.Adios}, loads)
+	seq := opt.sweep(mk(func(c *core.Config) { c.Paging.Prefetch = 8 }), []core.Mode{core.Adios}, loads)
+	leap := opt.sweep(mk(func(c *core.Config) { c.Paging.PrefetchPolicy = paging.Leap }), []core.Mode{core.Adios}, loads)
+	series := map[string][]Point{
+		"none":         off["Adios"],
+		"sequential=8": seq["Adios"],
+		"leap":         leap["Adios"],
+	}
+	opt.printClassSweep("Ablation: prefetch policy (RocksDB, Adios)", series, []string{"GET", "SCAN"})
+	return series
+}
+
+// AblReclaim compares the paper's pinned proactive reclaimer (§3.3)
+// against a conventional wake-on-pressure reclaimer under a write-heavy
+// KVS workload (dirty evictions stress the reclaim path).
+func AblReclaim(opt Options) map[string][]Point {
+	loads := opt.loads([]float64{400, 800, 1200})
+	mk := func(proactive bool) builder {
+		return microBuilder(0.20, func(c *core.Config) { c.Paging.Proactive = proactive })
+	}
+	pro := opt.sweep(mk(true), []core.Mode{core.Adios}, loads)
+	lazy := opt.sweep(mk(false), []core.Mode{core.Adios}, loads)
+	series := map[string][]Point{"proactive": pro["Adios"], "on-demand": lazy["Adios"]}
+	opt.printSweep("Ablation: proactive vs on-demand reclamation (Adios)", series)
+	return series
+}
+
+// computeApp is a pure-compute workload: §6's admitted blind spot, where
+// yield-based fault handling has nothing to overlap and Adios should
+// perform like the busy-wait systems.
+type computeApp struct {
+	cycles sim.Time
+	space  *paging.Space
+}
+
+func newComputeApp(mgr *paging.Manager, node *memnode.Node) *computeApp {
+	region := node.MustAlloc("compute", 64*paging.PageSize)
+	sp := mgr.NewSpace("compute", region)
+	sp.Preload(0, sp.Size())
+	return &computeApp{cycles: 4000, space: sp}
+}
+
+func (a *computeApp) Name() string { return "compute-bound" }
+
+func (a *computeApp) NextRequest(rng *sim.RNG) (any, int) {
+	return int64(rng.Intn(64)), 64
+}
+
+func (a *computeApp) Handler() workload.Handler {
+	return func(ctx workload.Ctx, payload any) (any, int) {
+		// All-local access plus a fixed compute burn: no faults to hide.
+		v := a.space.LoadU64(ctx, payload.(int64)*paging.PageSize)
+		ctx.Probe()
+		ctx.Compute(a.cycles)
+		return v, 64
+	}
+}
+
+// AblCompute verifies the §6 limitation: on a compute-bound, fully
+// local workload, yield-based fault handling gains nothing — both
+// variants here share every other policy (dispatch, TX) so only the
+// wait policy differs, isolating the claim from the systems' other
+// differences.
+func AblCompute(opt Options) map[string][]Point {
+	mk := func(mut mutator) builder {
+		return buildPreset(1.0, mut, func(sys *core.System) workload.App {
+			return newComputeApp(sys.Mgr, sys.Node)
+		}, func() int64 { return 64 * paging.PageSize })
+	}
+	loads := opt.loads([]float64{500, 1000, 1500, 2000, 2500})
+	yield := opt.sweep(mk(nil), []core.Mode{core.Adios}, loads)
+	busy := opt.sweep(mk(func(c *core.Config) { c.Sched.Wait = sched.BusyWait }),
+		[]core.Mode{core.Adios}, loads)
+	series := map[string][]Point{"yield": yield["Adios"], "busy-wait": busy["Adios"]}
+	opt.printSweep("Ablation: compute-bound workload (no faults) — §6 limitation", series)
+	return series
+}
+
+// AblWorkers sweeps the worker count on a fully local, compute-light
+// workload (so neither the RDMA link nor the workers bind): throughput
+// stops scaling once the single dispatcher core saturates — the ~ten
+// worker ceiling §6 concedes.
+func AblWorkers(opt Options) []Point {
+	counts := []int{2, 4, 8, 12, 16, 24}
+	if opt.Short {
+		counts = []int{4, 8, 16}
+	}
+	opt.printf("\n# Ablation: worker scaling against one dispatcher (compute-bound)\n")
+	opt.printf("%8s %9s %9s %10s\n", "workers", "offered_K", "tput_K", "p99.9_us")
+	var out []Point
+	for _, n := range counts {
+		n := n
+		b := buildPreset(1.0, func(c *core.Config) { c.Sched.Workers = n },
+			func(sys *core.System) workload.App {
+				return newComputeApp(sys.Mgr, sys.Node)
+			}, func() int64 { return 64 * paging.PageSize })
+		// Offer load proportional to workers so each point probes its
+		// configuration's capacity region.
+		load := float64(n) * 420_000
+		pt := opt.runPoint(b, core.Adios, load)
+		out = append(out, pt)
+		opt.printf("%8d %9.0f %9.0f %10.1f\n", n, pt.OfferedK, pt.TputK, pt.P999us)
+	}
+	return out
+}
+
+// AblQuantum sweeps DiLOS-P's preemption quantum on the RocksDB
+// GET/SCAN mix (where preemption matters).
+func AblQuantum(opt Options) map[string][]Point {
+	quanta := []float64{2, 5, 10, 20}
+	if opt.Short {
+		quanta = []float64{5, 20}
+	}
+	series := make(map[string][]Point)
+	load := []float64{350}
+	for _, q := range quanta {
+		us := q
+		b := sstableBuilder(opt, func(c *core.Config) { c.Sched.Quantum = sim.Micros(us) })
+		pts := opt.sweep(b, []core.Mode{core.DiLOSP}, load)
+		key := "quantum=" + itoa(int(us)) + "us"
+		series[key] = pts["DiLOS-P"]
+	}
+	opt.printClassSweep("Ablation: DiLOS-P preemption quantum (RocksDB)", series, []string{"GET", "SCAN"})
+	return series
+}
+
+// AblPool sweeps the unithread pool size; an undersized pool sheds
+// requests at bursty arrivals.
+func AblPool(opt Options) []Point {
+	sizes := []int{16, 64, 512, 131072}
+	if opt.Short {
+		sizes = []int{16, 131072}
+	}
+	opt.printf("\n# Ablation: unithread pool size (Adios, microbenchmark, 2.5 MRPS)\n")
+	opt.printf("%10s %9s %9s %10s %9s\n", "pool", "offered_K", "tput_K", "p99.9_us", "drops")
+	var out []Point
+	for _, n := range sizes {
+		b := microBuilder(0.20, func(c *core.Config) { c.PoolSize = n })
+		pt := opt.runPoint(b, core.Adios, 2_500_000)
+		out = append(out, pt)
+		opt.printf("%10d %9.0f %9.0f %10.1f %9d\n", n, pt.OfferedK, pt.TputK, pt.P999us, pt.Drops)
+	}
+	return out
+}
+
+// Infiniswap runs the legacy interrupt-driven yield design the paper
+// excludes from its plots for being off-scale (§5 setup: P99.9 582 µs to
+// 73 ms, 261 KRPS), as an extension.
+func Infiniswap(opt Options) map[string][]Point {
+	b := microBuilder(0.20, nil)
+	loads := opt.loads([]float64{100, 200, 300, 400})
+	series := opt.sweep(b, []core.Mode{core.Infiniswap, core.Adios}, loads)
+	opt.printSweep("Extension: legacy interrupt-driven yield (Infiniswap-class) vs Adios", series)
+	return series
+}
+
+// itoa avoids pulling strconv into every file for one call.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

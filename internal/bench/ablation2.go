@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/kvs"
+	"repro/internal/loadgen"
+	"repro/internal/paging"
+	"repro/internal/rdma"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/sstable"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// Second wave of ablations: alternatives the paper discusses and
+// rejects (two-sided RDMA, work stealing, IPI preemption) and design
+// dimensions it holds fixed (fetch granularity, eviction policy,
+// dispatcher count, key skew).
+
+// AblTwoSided compares one-sided RDMA fetches against SEND/RECV-style
+// serving with memory-node CPU involvement — the §3.1 design choice.
+func AblTwoSided(opt Options) map[string][]Point {
+	loads := opt.loads([]float64{400, 800, 1200, 1600, 2000})
+	oneSided := opt.sweep(microBuilder(0.20, nil), []core.Mode{core.Adios}, loads)
+	twoSided := opt.sweep(buildPreset(0.20, nil, func(sys *core.System) workload.App {
+		sys.NIC.EnableTwoSided(rdma.DefaultServerConfig())
+		app := workload.NewArrayApp(sys.Mgr, sys.Node, microArrayBytes)
+		app.WarmCache()
+		return app
+	}, func() int64 { return microArrayBytes }), []core.Mode{core.Adios}, loads)
+	series := map[string][]Point{
+		"one-sided": oneSided["Adios"],
+		"two-sided": twoSided["Adios"],
+	}
+	opt.printSweep("Ablation: one-sided vs two-sided remote memory access (Adios)", series)
+	return series
+}
+
+// AblSteal compares the paper's centralized single queue against
+// ZygOS-style per-worker queues with work stealing (§3.4's rejected
+// alternative) on the high-dispersion RocksDB mix.
+func AblSteal(opt Options) map[string][]Point {
+	loads := opt.loads([]float64{200, 400, 600, 800})
+	central := opt.sweep(sstableBuilder(opt, nil), []core.Mode{core.Adios}, loads)
+	stealing := opt.sweep(sstableBuilder(opt, withDispatch(sched.WorkStealing)),
+		[]core.Mode{core.Adios}, loads)
+	series := map[string][]Point{
+		"single-queue":  central["Adios"],
+		"work-stealing": stealing["Adios"],
+	}
+	opt.printClassSweep("Ablation: single queue vs work stealing (RocksDB, Adios)", series, []string{"GET", "SCAN"})
+	return series
+}
+
+// AblIPI compares probe-based (manual/Concord) preemption against
+// Shinjuku-style IPIs for DiLOS-P on RocksDB. The paper tried both and
+// kept the probes ("superior performance than the former with IPI").
+func AblIPI(opt Options) map[string][]Point {
+	loads := opt.loads([]float64{250, 400, 550})
+	manual := opt.sweep(sstableBuilder(opt, nil), []core.Mode{core.DiLOSP}, loads)
+	ipi := opt.sweep(sstableBuilder(opt, func(c *core.Config) { c.Sched.PreemptIPI = true }),
+		[]core.Mode{core.DiLOSP}, loads)
+	series := map[string][]Point{
+		"probes": manual["DiLOS-P"],
+		"ipi":    ipi["DiLOS-P"],
+	}
+	opt.printClassSweep("Ablation: probe vs IPI preemption (DiLOS-P, RocksDB)", series, []string{"GET", "SCAN"})
+	return series
+}
+
+// AblEvict compares CLOCK against exact LRU on the skewed-access
+// Memcached workload, where recency actually matters.
+func AblEvict(opt Options) map[string][]Point {
+	loads := opt.loads([]float64{400, 700, 1000})
+	mk := func(policy paging.EvictPolicy, skew bool) builder {
+		cfg := kvs.DefaultConfig(memcachedKeys(opt.Short, 128), 128)
+		var size int64
+		return buildPreset(0.20, func(c *core.Config) { c.Paging.Policy = policy },
+			func(sys *core.System) workload.App {
+				s := kvs.New(sys.Mgr, sys.Node, cfg)
+				s.WarmCache()
+				size = s.SpaceSize()
+				var app workload.App = s
+				if skew {
+					app = &zipfKVS{Store: s, keys: cfg.Keys}
+				}
+				return app
+			}, func() int64 {
+				if size == 0 {
+					probe := core.NewSystem(core.Preset(core.Adios, 1<<22))
+					size = kvs.New(probe.Mgr, probe.Node, cfg).SpaceSize()
+				}
+				return size
+			})
+	}
+	clock := opt.sweep(mk(paging.CLOCK, true), []core.Mode{core.Adios}, loads)
+	lru := opt.sweep(mk(paging.LRU, true), []core.Mode{core.Adios}, loads)
+	series := map[string][]Point{"CLOCK": clock["Adios"], "LRU": lru["Adios"]}
+	opt.printSweep("Ablation: CLOCK vs exact LRU eviction (Memcached, zipfian keys, Adios)", series)
+	return series
+}
+
+// zipfKVS wraps the KVS with a Zipf-skewed key popularity so eviction
+// recency matters.
+type zipfKVS struct {
+	*kvs.Store
+	keys int64
+	dist *workload.Zipfian
+}
+
+// NextRequest draws Zipf-distributed GET keys.
+func (z *zipfKVS) NextRequest(rng *sim.RNG) (any, int) {
+	if z.dist == nil {
+		z.dist = &workload.Zipfian{Keys: z.keys, S: 1.1}
+	}
+	return kvs.Get{Key: uint64(z.dist.Next(rng))}, 64 + kvs.KeySize
+}
+
+// AblHugePage measures fetch-granularity amplification: a 2 MiB-grained
+// memory node (FetchAlign 512) against 4 KiB demand paging on the
+// random-access microbenchmark — the §5.2 reason Silo was extended to
+// support regular pages ("huge pages induce 512 times larger I/O
+// amplification").
+func AblHugePage(opt Options) map[string][]Point {
+	loads := opt.loads([]float64{100, 200, 400})
+	series := make(map[string][]Point)
+	for _, align := range []int{1, 64, 512} {
+		a := align
+		b := microBuilder(0.20, func(c *core.Config) { c.Paging.FetchAlign = a })
+		pts := opt.sweep(b, []core.Mode{core.Adios}, loads)
+		series["align="+itoa(a)] = pts["Adios"]
+	}
+	opt.printSweep("Ablation: fetch granularity / huge-page I/O amplification (Adios)", series)
+	return series
+}
+
+// AblCanvas measures application-guided (two-tier, Canvas-style)
+// prefetching on RocksDB scans.
+func AblCanvas(opt Options) map[string][]Point {
+	loads := opt.loads([]float64{250, 400, 550})
+	mk := func(appPrefetch bool) builder {
+		cfg := sstable.DefaultConfig(sstableKeys(opt.Short), 1024)
+		cfg.AppPrefetch = appPrefetch
+		var size int64
+		return buildPreset(0.20, nil, func(sys *core.System) workload.App {
+			tab := sstable.New(sys.Mgr, sys.Node, cfg)
+			tab.WarmCache()
+			size = tab.SpaceSize()
+			return tab
+		}, func() int64 {
+			if size == 0 {
+				probe := core.NewSystem(core.Preset(core.Adios, 1<<22))
+				size = sstable.New(probe.Mgr, probe.Node, cfg).SpaceSize()
+			}
+			return size
+		})
+	}
+	off := opt.sweep(mk(false), []core.Mode{core.Adios}, loads)
+	on := opt.sweep(mk(true), []core.Mode{core.Adios}, loads)
+	series := map[string][]Point{"demand-only": off["Adios"], "app-guided": on["Adios"]}
+	opt.printClassSweep("Ablation: Canvas-style application-guided prefetch (RocksDB, Adios)", series, []string{"GET", "SCAN"})
+	return series
+}
+
+// AblMultiDispatch scales workers with one vs two dispatcher cores,
+// probing the single-queue scalability ceiling §6 concedes.
+func AblMultiDispatch(opt Options) map[string][]Point {
+	workers := []int{8, 12, 16, 24}
+	if opt.Short {
+		workers = []int{8, 16}
+	}
+	series := make(map[string][]Point)
+	opt.printf("\n# Ablation: dispatcher scaling (Adios, compute-bound)\n")
+	opt.printf("%12s %8s %9s %9s %10s\n", "dispatchers", "workers", "offered_K", "tput_K", "p99.9_us")
+	for _, nd := range []int{1, 2} {
+		nd := nd
+		for _, nw := range workers {
+			nw := nw
+			b := buildPreset(1.0, func(c *core.Config) {
+				c.Sched.Workers = nw
+				c.Sched.Dispatchers = nd
+			}, func(sys *core.System) workload.App {
+				return newComputeApp(sys.Mgr, sys.Node)
+			}, func() int64 { return 64 * paging.PageSize })
+			pt := opt.runPoint(b, core.Adios, float64(nw)*420_000)
+			key := "dispatchers=" + itoa(nd)
+			series[key] = append(series[key], pt)
+			opt.printf("%12d %8d %9.0f %9.0f %10.1f\n", nd, nw, pt.OfferedK, pt.TputK, pt.P999us)
+		}
+	}
+	return series
+}
+
+// AblTransport contrasts the paper's UDP-style open-loop service with a
+// reliable, windowed transport (§6's connection-oriented future work)
+// under overload: UDP sheds load (drops), the reliable layer retries and
+// back-pressures, trading drop count for latency.
+func AblTransport(opt Options) map[string][]Point {
+	loads := opt.loads([]float64{1200, 1600, 2000})
+	udp := opt.sweep(microBuilder(0.20, nil), []core.Mode{core.DiLOS}, loads)
+
+	var reliable []Point
+	for _, k := range loads {
+		rps := k * 1000
+		sys, app := microBuilder(0.20, nil)(core.DiLOS, opt.seed())
+		warm, meas := opt.windows(rps)
+		end := warm + meas
+		gen := loadgen.Start(sys.Env, sys.Net, app, rps, warm, end)
+		client := transport.NewClient(sys.Env, sys.Net, transport.DefaultConfig())
+		client.OnDeliver = gen.Deliver
+		gen.SendFn = client.Send
+		dedup := transport.NewDedup(1 << 16)
+		sys.Sched.Admit = dedup.Admit
+		sys.Env.At(warm, func() { sys.NIC.StartWindow() })
+		sys.Env.Run(end + sim.Millis(50))
+		reliable = append(reliable, Point{
+			Mode:     "DiLOS+rtx",
+			OfferedK: k,
+			TputK:    gen.Throughput(end) / 1000,
+			P50us:    sim.Time(gen.E2E.P50()).Micros(),
+			P99us:    sim.Time(gen.E2E.P99()).Micros(),
+			P999us:   sim.Time(gen.E2E.P999()).Micros(),
+			Drops:    client.Lost.Value(),
+		})
+		opt.printf("reliable@%vK: retransmits=%d queued=%d duplicates=%d lost=%d\n",
+			k, client.Retransmits.Value(), client.Queued.Value(),
+			dedup.Duplicates.Value(), client.Lost.Value())
+	}
+	series := map[string][]Point{"DiLOS-udp": udp["DiLOS"], "DiLOS-reliable": reliable}
+	opt.printSweep("Ablation: UDP open-loop vs reliable transport under overload", series)
+	return series
+}

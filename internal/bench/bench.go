@@ -1,0 +1,356 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§2 and §5). Each experiment has an id (table1, fig2a …
+// fig13) matching DESIGN.md's index; Run dispatches on it. Experiments
+// print the same rows/series the paper plots and return them for
+// programmatic assertions (the repository-root benchmarks).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/plot"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Options controls sweep resolution and measurement windows.
+type Options struct {
+	// Short reduces sweep resolution and dataset sizes so the whole
+	// suite runs in CI time; full mode reproduces the paper's sweeps.
+	Short bool
+	// Out receives the printed tables (nil discards).
+	Out io.Writer
+	// Plot additionally renders ASCII latency-vs-throughput charts of
+	// each sweep to Out.
+	Plot bool
+	// CSV, if non-nil, receives every measured point as CSV rows
+	// (experiment, system, offered/tput KRPS, percentiles, utilization,
+	// drops) for external plotting.
+	CSV io.Writer
+	// Seed for all runs.
+	Seed int64
+}
+
+// DefaultOptions returns full-resolution options writing to w.
+func DefaultOptions(w io.Writer) Options { return Options{Out: w, Seed: 1} }
+
+func (o *Options) printf(format string, args ...any) {
+	if o.Out != nil {
+		fmt.Fprintf(o.Out, format, args...)
+	}
+}
+
+// windows returns warmup and measure durations for a given offered load,
+// targeting enough samples for a stable P99.9.
+func (o *Options) windows(rps float64) (warmup, measure sim.Time) {
+	target := 80_000.0 // samples
+	if o.Short {
+		target = 15_000
+	}
+	ms := target / rps * 1000
+	if ms < 20 {
+		ms = 20
+	}
+	if ms > 3000 {
+		ms = 3000
+	}
+	return sim.Millis(ms / 4), sim.Millis(ms)
+}
+
+// Point is one measured operating point of one system.
+type Point struct {
+	Mode     string
+	OfferedK float64
+	TputK    float64
+	P50us    float64
+	P99us    float64
+	P999us   float64
+	LinkUtil float64
+	Drops    int64
+
+	// Per-class percentiles (e.g. GET/SCAN), when the workload is
+	// classified.
+	Class map[string]ClassLat
+}
+
+// ClassLat is per-request-class latency.
+type ClassLat struct {
+	P50us  float64
+	P99us  float64
+	P999us float64
+	Count  int64
+}
+
+// builder constructs a fresh system+app for a mode. Every measured point
+// uses a fresh build so points are independent and deterministic.
+type builder func(mode core.Mode, seed int64) (*core.System, workload.App)
+
+// mutator optionally adjusts a preset before the system is built.
+type mutator func(cfg *core.Config)
+
+// buildPreset makes a builder from an app factory with the given
+// local-memory fraction of the app's working set.
+func buildPreset(localFrac float64, mut mutator,
+	mkApp func(sys *core.System) workload.App, appBytes func() int64) builder {
+	return func(mode core.Mode, seed int64) (*core.System, workload.App) {
+		local := int64(localFrac * float64(appBytes()))
+		cfg := core.Preset(mode, local)
+		cfg.Seed = seed
+		if mut != nil {
+			mut(&cfg)
+		}
+		sys := core.NewSystem(cfg)
+		app := mkApp(sys)
+		sys.Start(app.Handler())
+		return sys, app
+	}
+}
+
+// runPoint measures one (mode, load) operating point.
+func (o *Options) runPoint(b builder, mode core.Mode, rps float64) Point {
+	sys, app := b(mode, o.seed())
+	warm, meas := o.windows(rps)
+	res := sys.Run(app, rps, warm, meas)
+	pt := Point{
+		Mode:     mode.String(),
+		OfferedK: res.OfferedK,
+		TputK:    res.TputK,
+		P50us:    res.P50us,
+		P99us:    res.P99us,
+		P999us:   res.P999us,
+		LinkUtil: res.LinkUtil,
+		Drops:    res.Drops,
+	}
+	if len(res.Gen.ByClass) > 0 {
+		pt.Class = make(map[string]ClassLat)
+		for class, h := range res.Gen.ByClass {
+			pt.Class[class] = ClassLat{
+				P50us:  sim.Time(h.P50()).Micros(),
+				P99us:  sim.Time(h.P99()).Micros(),
+				P999us: sim.Time(h.P999()).Micros(),
+				Count:  h.Count(),
+			}
+		}
+	}
+	return pt
+}
+
+func (o *Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// sweep measures a list of offered loads for each mode.
+func (o *Options) sweep(b builder, modes []core.Mode, loadsK []float64) map[string][]Point {
+	out := make(map[string][]Point)
+	for _, m := range modes {
+		for _, k := range loadsK {
+			pt := o.runPoint(b, m, k*1000)
+			out[m.String()] = append(out[m.String()], pt)
+		}
+	}
+	return out
+}
+
+// printSweep renders a sweep as aligned rows, plus optional chart and
+// CSV output.
+func (o *Options) printSweep(title string, series map[string][]Point) {
+	o.printf("\n# %s\n", title)
+	o.printf("%-11s %9s %9s %10s %10s %10s %6s %9s\n",
+		"system", "offered_K", "tput_K", "p50_us", "p99_us", "p99.9_us", "util%", "drops")
+	for _, name := range sortedKeys(series) {
+		for _, p := range series[name] {
+			o.printf("%-11s %9.4g %9.4g %10.1f %10.1f %10.1f %6.1f %9d\n",
+				name, p.OfferedK, p.TputK, p.P50us, p.P99us, p.P999us, p.LinkUtil*100, p.Drops)
+		}
+	}
+	o.emitCSV(title, series)
+	if o.Plot && o.Out != nil {
+		curves := make(map[string][]plot.XY)
+		for name, pts := range series {
+			for _, p := range pts {
+				curves[name] = append(curves[name], plot.XY{X: p.TputK, Y: p.P999us})
+			}
+		}
+		plot.Render(o.Out, title+" — P99.9 vs throughput", curves,
+			plot.Options{LogY: true, XLabel: "tput KRPS", YLabel: "p99.9 us"})
+	}
+}
+
+// emitCSV appends the sweep's points to the CSV sink.
+func (o *Options) emitCSV(title string, series map[string][]Point) {
+	if o.CSV == nil {
+		return
+	}
+	slug := title
+	if i := strings.IndexAny(slug, ":"); i > 0 {
+		slug = slug[:i]
+	}
+	slug = strings.ReplaceAll(strings.TrimSpace(slug), ",", ";")
+	for _, name := range sortedKeys(series) {
+		for _, p := range series[name] {
+			fmt.Fprintf(o.CSV, "%s,%s,%.0f,%.0f,%.2f,%.2f,%.2f,%.4f,%d\n",
+				strings.TrimRight(slug, ":"), name, p.OfferedK, p.TputK,
+				p.P50us, p.P99us, p.P999us, p.LinkUtil, p.Drops)
+		}
+	}
+}
+
+// printClassSweep renders per-class latency rows (Figure 11 style).
+func (o *Options) printClassSweep(title string, series map[string][]Point, classes []string) {
+	o.printf("\n# %s\n", title)
+	o.printf("%-11s %9s %9s", "system", "offered_K", "tput_K")
+	for _, c := range classes {
+		o.printf(" %9s %10s %11s", c+"_p50", c+"_p99", c+"_p99.9")
+	}
+	o.printf("\n")
+	for _, name := range sortedKeys(series) {
+		for _, p := range series[name] {
+			o.printf("%-11s %9.4g %9.4g", name, p.OfferedK, p.TputK)
+			for _, c := range classes {
+				cl := p.Class[c]
+				o.printf(" %9.1f %10.1f %11.1f", cl.P50us, cl.P99us, cl.P999us)
+			}
+			o.printf("\n")
+		}
+	}
+	o.emitCSV(title, series)
+	if o.Plot && o.Out != nil && len(classes) > 0 {
+		curves := make(map[string][]plot.XY)
+		for name, pts := range series {
+			for _, p := range pts {
+				curves[name] = append(curves[name], plot.XY{X: p.TputK, Y: p.Class[classes[0]].P999us})
+			}
+		}
+		plot.Render(o.Out, title+" — "+classes[0]+" P99.9 vs throughput", curves,
+			plot.Options{LogY: true, XLabel: "tput KRPS", YLabel: "p99.9 us"})
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// loads builds a load list, thinning it in short mode.
+func (o *Options) loads(full []float64) []float64 {
+	if !o.Short {
+		return full
+	}
+	var out []float64
+	for i := 0; i < len(full); i += 2 {
+		out = append(out, full[i])
+	}
+	if len(out) == 0 || out[len(out)-1] != full[len(full)-1] {
+		out = append(out, full[len(full)-1])
+	}
+	return out
+}
+
+// Run executes the experiment with the given id. Returns an error for
+// unknown ids. Results are printed to opt.Out.
+func Run(id string, opt Options) error {
+	switch id {
+	case "table1":
+		Table1(opt)
+	case "fig2a":
+		Fig2a(opt)
+	case "fig2b":
+		Fig2b(opt)
+	case "fig2c":
+		Fig2c(opt)
+	case "fig2d", "fig2e":
+		Fig2de(opt)
+	case "fig7a", "fig7b":
+		Fig7ab(opt)
+	case "fig7c":
+		Fig7c(opt)
+	case "fig7d", "fig7e":
+		Fig7de(opt)
+	case "fig8":
+		Fig8(opt)
+	case "fig9":
+		Fig9(opt)
+	case "table2":
+		Table2(opt)
+	case "fig10":
+		Fig10(opt)
+	case "fig10e":
+		Fig10e(opt)
+	case "fig11":
+		Fig11(opt)
+	case "fig11e":
+		Fig11e(opt)
+	case "fig12":
+		Fig12(opt)
+	case "fig13":
+		Fig13(opt)
+	case "abl-prefetch":
+		AblPrefetch(opt)
+	case "abl-reclaim":
+		AblReclaim(opt)
+	case "abl-compute":
+		AblCompute(opt)
+	case "abl-workers":
+		AblWorkers(opt)
+	case "abl-quantum":
+		AblQuantum(opt)
+	case "abl-pool":
+		AblPool(opt)
+	case "abl-twosided":
+		AblTwoSided(opt)
+	case "abl-steal":
+		AblSteal(opt)
+	case "abl-ipi":
+		AblIPI(opt)
+	case "abl-evict":
+		AblEvict(opt)
+	case "abl-hugepage":
+		AblHugePage(opt)
+	case "abl-canvas":
+		AblCanvas(opt)
+	case "abl-multidisp":
+		AblMultiDispatch(opt)
+	case "abl-transport":
+		AblTransport(opt)
+	case "infiniswap":
+		Infiniswap(opt)
+	default:
+		return fmt.Errorf("bench: unknown experiment %q", id)
+	}
+	return nil
+}
+
+// All lists every experiment id in DESIGN.md order.
+func All() []string {
+	return []string{
+		"table1", "fig2a", "fig2b", "fig2c", "fig2d", "fig7a", "fig7c",
+		"fig7d", "fig8", "fig9", "table2", "fig10", "fig10e", "fig11",
+		"fig11e", "fig12", "fig13",
+		"abl-prefetch", "abl-reclaim", "abl-compute", "abl-workers",
+		"abl-quantum", "abl-pool", "abl-twosided", "abl-steal",
+		"abl-ipi", "abl-evict", "abl-hugepage", "abl-canvas",
+		"abl-multidisp", "abl-transport", "infiniswap",
+	}
+}
+
+// txPolicy helper for Figure 9.
+func withTx(tx sched.TxPolicy) mutator {
+	return func(cfg *core.Config) { cfg.Sched.Tx = tx }
+}
+
+// withDispatch helper for Figures 10(e)/11(e).
+func withDispatch(d sched.DispatchPolicy) mutator {
+	return func(cfg *core.Config) { cfg.Sched.Dispatch = d }
+}

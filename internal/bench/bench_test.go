@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// shortOpt runs experiments at reduced resolution; these tests assert
+// the paper's qualitative claims (who wins, roughly by how much), which
+// are exactly what the reproduction must preserve.
+func shortOpt() Options { return Options{Short: true, Seed: 1} }
+
+func last(pts []Point) Point { return pts[len(pts)-1] }
+
+func peak(pts []Point) Point {
+	var best Point
+	for _, p := range pts {
+		if p.TputK > best.TputK {
+			best = p
+		}
+	}
+	return best
+}
+
+func TestRunDispatchesAllIDs(t *testing.T) {
+	if err := Run("nonsense", shortOpt()); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	for _, id := range All() {
+		if !strings.HasPrefix(id, "fig") && !strings.HasPrefix(id, "table") &&
+			!strings.HasPrefix(id, "abl") && id != "infiniswap" {
+			t.Fatalf("unexpected id %q", id)
+		}
+	}
+}
+
+func TestTable1Prints(t *testing.T) {
+	var sb strings.Builder
+	opt := shortOpt()
+	opt.Out = &sb
+	Table1(opt)
+	out := sb.String()
+	for _, want := range []string{"80", "968", "unithread", "ucontext"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig2aPreemptionDoesNotHelpMicrobench(t *testing.T) {
+	series := Fig2a(shortOpt())
+	d, p := series["DiLOS"], series["DiLOS-P"]
+	if len(d) == 0 || len(p) == 0 {
+		t.Fatal("missing series")
+	}
+	// §2.3: preemptive scheduling does not improve the microbenchmark;
+	// DiLOS-P's peak throughput must not exceed DiLOS's.
+	if last(p).TputK > last(d).TputK*1.03 {
+		t.Fatalf("DiLOS-P peak %.0fK unexpectedly above DiLOS %.0fK", last(p).TputK, last(d).TputK)
+	}
+}
+
+func TestFig2cBusyWaitDominatesTail(t *testing.T) {
+	rows := Fig2c(shortOpt())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	p10, p999 := rows[0], rows[3]
+	// At P10 there is no RDMA (local hits); at P99.9 queueing dominates
+	// and most of it is attributable to busy-waiting (the slashed area).
+	if p10.RDMAKc > 0.5 {
+		t.Fatalf("P10 RDMA = %.1fKc, want ~0 (local hits)", p10.RDMAKc)
+	}
+	if p999.QueueKc < 2*p999.ProcessKc {
+		t.Fatalf("P99.9 queueing %.1fKc should dominate processing %.1fKc", p999.QueueKc, p999.ProcessKc)
+	}
+	if p999.QueueBusyKc < 0.5*p999.QueueKc {
+		t.Fatalf("busy-wait share of P99.9 queueing = %.1f/%.1fKc, want dominant", p999.QueueBusyKc, p999.QueueKc)
+	}
+	// Paper: a local hit's processing is ≈1.7 Kcycles (the P10 bar's
+	// processing segment; under load the short-window P10 also carries
+	// some queueing, which the total includes).
+	if p10.ProcessKc < 0.8 || p10.ProcessKc > 3.0 {
+		t.Fatalf("P10 processing = %.1fKc, want ~1.7Kc", p10.ProcessKc)
+	}
+	// Paper: at P50, the RDMA span is a large share of the total.
+	p50 := rows[1]
+	if p50.RDMAKc < 0.3*p50.TotalKc {
+		t.Fatalf("P50 RDMA %.1fKc not a large share of total %.1fKc", p50.RDMAKc, p50.TotalKc)
+	}
+}
+
+func TestFig7AdiosEliminatesBusyWait(t *testing.T) {
+	rows := Fig7c(shortOpt())
+	for _, r := range rows {
+		if r.OwnBusyWaitKc != 0 || r.QueueBusyKc != 0 {
+			t.Fatalf("Adios shows busy-wait at P%.1f: %+v", r.Pct, r)
+		}
+	}
+	// Queueing at the tail collapses vs DiLOS (paper: 16-37x less).
+	dilos := Fig2c(shortOpt())
+	if rows[3].QueueKc*4 > dilos[3].QueueKc {
+		t.Fatalf("Adios P99.9 queueing %.1fKc not far below DiLOS %.1fKc",
+			rows[3].QueueKc, dilos[3].QueueKc)
+	}
+}
+
+func TestFig7deThroughputAndUtilization(t *testing.T) {
+	series := Fig7de(shortOpt())
+	d, a := series["DiLOS"], series["Adios"]
+	dPeak, aPeak := 0.0, 0.0
+	var dUtil, aUtil float64
+	for _, p := range d {
+		if p.TputK > dPeak {
+			dPeak, dUtil = p.TputK, p.LinkUtil
+		}
+	}
+	for _, p := range a {
+		if p.TputK > aPeak {
+			aPeak, aUtil = p.TputK, p.LinkUtil
+		}
+	}
+	// Paper: Adios ~1.5x DiLOS peak with far higher link utilization.
+	if aPeak < 1.3*dPeak {
+		t.Fatalf("Adios peak %.0fK not ≥1.3x DiLOS %.0fK", aPeak, dPeak)
+	}
+	if aUtil < dUtil+0.15 {
+		t.Fatalf("Adios util %.2f not well above DiLOS %.2f", aUtil, dUtil)
+	}
+}
+
+func TestFig9PollingDelegationHelps(t *testing.T) {
+	series := Fig9(shortOpt())
+	with, without := series["Adios"], series["Adios-SyncTx"]
+	wPeak, oPeak := 0.0, 0.0
+	for _, p := range with {
+		if p.TputK > wPeak {
+			wPeak = p.TputK
+		}
+	}
+	for _, p := range without {
+		if p.TputK > oPeak {
+			oPeak = p.TputK
+		}
+	}
+	// Paper: 1.15x peak throughput from polling delegation.
+	if wPeak < 1.05*oPeak {
+		t.Fatalf("delegation peak %.0fK not above sync-TX %.0fK", wPeak, oPeak)
+	}
+}
+
+func TestAblComputeYieldGainsNothing(t *testing.T) {
+	series := AblCompute(shortOpt())
+	busy, yield := last(series["busy-wait"]), last(series["yield"])
+	// §6: with no faults to overlap, yielding neither helps nor hurts
+	// meaningfully.
+	if yield.TputK < 0.95*busy.TputK || yield.TputK > 1.05*busy.TputK {
+		t.Fatalf("compute-bound: yield %.0fK vs busy-wait %.0fK should be equal", yield.TputK, busy.TputK)
+	}
+}
+
+func TestBenchWritesOutput(t *testing.T) {
+	var sb strings.Builder
+	opt := shortOpt()
+	opt.Out = &sb
+	if err := Run("table2", opt); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Memcached", "RocksDB", "Silo", "Faiss"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("table2 missing %s", want)
+		}
+	}
+	_ = io.Discard
+}
+
+func TestAblTwoSidedOneSidedWins(t *testing.T) {
+	series := AblTwoSided(shortOpt())
+	one, two := series["one-sided"], series["two-sided"]
+	// The §3.1 design choice: one-sided must deliver lower latency at
+	// matched load and at least as much peak throughput.
+	if one[0].P50us >= two[0].P50us {
+		t.Fatalf("one-sided p50 %.1f not below two-sided %.1f", one[0].P50us, two[0].P50us)
+	}
+	if peak(one).TputK < peak(two).TputK {
+		t.Fatalf("one-sided peak %.0fK below two-sided %.0fK", peak(one).TputK, peak(two).TputK)
+	}
+}
+
+func TestAblCanvasHelpsScans(t *testing.T) {
+	series := AblCanvas(shortOpt())
+	off, on := series["demand-only"], series["app-guided"]
+	// Application-guided prefetch must cut SCAN median latency without
+	// hurting throughput.
+	offScan := off[0].Class["SCAN"].P50us
+	onScan := on[0].Class["SCAN"].P50us
+	if onScan >= offScan {
+		t.Fatalf("app-guided SCAN p50 %.1fus not below demand-only %.1fus", onScan, offScan)
+	}
+}
+
+func TestAblHugePageAmplificationHurts(t *testing.T) {
+	series := AblHugePage(shortOpt())
+	fine, huge := series["align=1"], series["align=512"]
+	// 512x fetch amplification on a random workload must saturate the
+	// link and wreck latency (the paper's Silo 4KB-vs-2MB point).
+	last := len(fine) - 1
+	if huge[last].P99us < 2*fine[last].P99us && huge[last].TputK > 0.95*fine[last].TputK {
+		t.Fatalf("512x amplification showed no cost: fine p99 %.1f tput %.0fK vs huge p99 %.1f tput %.0fK",
+			fine[last].P99us, fine[last].TputK, huge[last].P99us, huge[last].TputK)
+	}
+	if huge[last].LinkUtil < fine[last].LinkUtil {
+		t.Fatal("amplification did not raise link utilization")
+	}
+}

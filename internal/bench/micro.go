@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"sort"
+	"testing"
+	"unsafe"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/uctx"
+	"repro/internal/workload"
+)
+
+// microArrayBytes is the microbenchmark working set (the paper uses
+// 40 GB; only the local-memory *ratio* affects behaviour, see DESIGN.md).
+const microArrayBytes int64 = 64 << 20
+
+// microBuilder builds the §2/§5.1 random-indirection microbenchmark at a
+// given local-memory fraction.
+func microBuilder(localFrac float64, mut mutator) builder {
+	return buildPreset(localFrac, mut, func(sys *core.System) workload.App {
+		app := workload.NewArrayApp(sys.Mgr, sys.Node, microArrayBytes)
+		app.WarmCache()
+		return app
+	}, func() int64 { return microArrayBytes })
+}
+
+// Table1 reproduces Table 1: context-switching mechanism comparison.
+// Sizes are measured from the real structures; cycles are measured by
+// running the real save/restore loops on this host, alongside the
+// calibrated model constants used in the simulation.
+func Table1(opt Options) {
+	light := testing.Benchmark(func(b *testing.B) {
+		var a, c uctx.LightContext
+		for i := 0; i < b.N; i++ {
+			uctx.SwitchLight(&a, &c)
+			uctx.SwitchLight(&c, &a)
+		}
+	})
+	full := testing.Benchmark(func(b *testing.B) {
+		var a, c uctx.FullContext
+		for i := 0; i < b.N; i++ {
+			uctx.SwitchFull(&a, &c)
+			uctx.SwitchFull(&c, &a)
+		}
+	})
+	// Each iteration performs two switches.
+	lightNs := float64(light.NsPerOp()) / 2
+	fullNs := float64(full.NsPerOp()) / 2
+	costs := sched.DefaultCosts()
+
+	opt.printf("\n# Table 1: context-switching mechanisms\n")
+	opt.printf("%-24s %10s %14s %13s\n", "mechanism", "ctx_bytes", "host_ns/switch", "model_cycles")
+	opt.printf("%-24s %10d %14.1f %13d\n", "Adios unithread",
+		unsafe.Sizeof(uctx.LightContext{}), lightNs, int64(costs.UnithreadSwitch))
+	opt.printf("%-24s %10d %14.1f %13d\n", "Shinjuku ucontext_t",
+		unsafe.Sizeof(uctx.FullContext{}), fullNs, 191)
+	opt.printf("size ratio %.1fx, host cycle ratio %.1fx (paper: 12.1x, 4.7x)\n",
+		float64(unsafe.Sizeof(uctx.FullContext{}))/float64(unsafe.Sizeof(uctx.LightContext{})),
+		fullNs/lightNs)
+}
+
+// Fig2a reproduces Figure 2(a): P99 e2e latency of DiLOS (busy-wait) and
+// DiLOS-P (preemption) under increasing offered load.
+func Fig2a(opt Options) map[string][]Point {
+	b := microBuilder(0.20, nil)
+	loads := opt.loads([]float64{100, 400, 700, 1000, 1150, 1300, 1450, 1600, 1750, 2000})
+	series := opt.sweep(b, []core.Mode{core.DiLOS, core.DiLOSP}, loads)
+	opt.printSweep("Figure 2(a): DiLOS busy-wait vs preemption, P99 e2e latency", series)
+	return series
+}
+
+// Fig2b reproduces Figure 2(b): the latency CDF of DiLOS at 1.3 MRPS.
+func Fig2b(opt Options) []Point {
+	b := microBuilder(0.20, nil)
+	sys, app := b(core.DiLOS, opt.seed())
+	warm, meas := opt.windows(1_300_000)
+	res := sys.Run(app, 1_300_000, warm, meas)
+	opt.printf("\n# Figure 2(b): DiLOS latency CDF at 1.3 MRPS\n")
+	opt.printf("%12s %10s\n", "latency_us", "cdf")
+	cdf := res.Gen.E2E.CDF()
+	step := len(cdf)/30 + 1
+	for i := 0; i < len(cdf); i += step {
+		opt.printf("%12.1f %10.4f\n", sim.Time(cdf[i].Value).Micros(), cdf[i].Fraction)
+	}
+	if len(cdf) > 0 {
+		last := cdf[len(cdf)-1]
+		opt.printf("%12.1f %10.4f\n", sim.Time(last.Value).Micros(), last.Fraction)
+	}
+	return nil
+}
+
+// breakdownRow is one percentile row of Figure 2(c)/7(c).
+type breakdownRow struct {
+	Pct           float64
+	TotalKc       float64 // node residence, Kcycles
+	QueueKc       float64
+	QueueBusyKc   float64 // portion of queueing attributable to busy-waiting peers
+	ProcessKc     float64
+	RDMAKc        float64
+	OwnBusyWaitKc float64
+}
+
+// runBreakdown measures the request-handling breakdown at fixed load.
+func (o *Options) runBreakdown(b builder, mode core.Mode, rps float64) []breakdownRow {
+	sys, app := b(mode, o.seed())
+	warm, meas := o.windows(rps)
+	type rec struct{ total, queue, cpu, rdma, busy int64 }
+	var recs []rec
+	sys.Sched.OnComplete = func(r *sched.Request) {
+		if r.Finished < warm {
+			return
+		}
+		recs = append(recs, rec{
+			total: int64(r.NodeLatency()),
+			queue: int64(r.QueueWait),
+			cpu:   int64(r.CPU),
+			rdma:  int64(r.RDMAWait),
+			busy:  int64(r.BusyWait),
+		})
+	}
+	sys.Run(app, rps, warm, meas)
+	if len(recs) == 0 {
+		return nil
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].total < recs[j].total })
+	// Fraction of core-busy time spent busy-waiting: the "slashed"
+	// attribution of queueing delay in Figure 2(c).
+	busyShare := 0.0
+	if tot := sys.Sched.CPUCycles() + sys.Sched.BusyWaitCycles(); tot > 0 {
+		busyShare = float64(sys.Sched.BusyWaitCycles()) / float64(tot)
+	}
+	var rows []breakdownRow
+	for _, pct := range []float64{0.10, 0.50, 0.99, 0.999} {
+		lo := int(pct*float64(len(recs))) - len(recs)/400
+		hi := int(pct*float64(len(recs))) + len(recs)/400
+		if lo < 0 {
+			lo = 0
+		}
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		var avg rec
+		for _, r := range recs[lo:hi] {
+			avg.total += r.total
+			avg.queue += r.queue
+			avg.cpu += r.cpu
+			avg.rdma += r.rdma
+			avg.busy += r.busy
+		}
+		n := float64(hi - lo)
+		kc := func(v int64) float64 { return float64(v) / n / 1000 }
+		rows = append(rows, breakdownRow{
+			Pct:           pct * 100,
+			TotalKc:       kc(avg.total),
+			QueueKc:       kc(avg.queue),
+			QueueBusyKc:   kc(avg.queue) * busyShare,
+			ProcessKc:     kc(avg.cpu),
+			RDMAKc:        kc(avg.rdma),
+			OwnBusyWaitKc: kc(avg.busy),
+		})
+	}
+	return rows
+}
+
+func (o *Options) printBreakdown(title string, rows []breakdownRow) {
+	o.printf("\n# %s\n", title)
+	o.printf("%6s %9s %9s %12s %10s %9s %12s\n",
+		"pct", "total_Kc", "queue_Kc", "queue*busy%", "proc_Kc", "rdma_Kc", "own_busy_Kc")
+	for _, r := range rows {
+		o.printf("%6.1f %9.1f %9.1f %12.1f %10.1f %9.1f %12.1f\n",
+			r.Pct, r.TotalKc, r.QueueKc, r.QueueBusyKc, r.ProcessKc, r.RDMAKc, r.OwnBusyWaitKc)
+	}
+}
+
+// Fig2c reproduces Figure 2(c): DiLOS request-handling breakdown at
+// 1.3 MRPS, in Kcycles, with the busy-wait share of queueing marked.
+func Fig2c(opt Options) []breakdownRow {
+	rows := opt.runBreakdown(microBuilder(0.20, nil), core.DiLOS, 1_300_000)
+	opt.printBreakdown("Figure 2(c): DiLOS breakdown at 1.3 MRPS (cycles via rdtsc-equivalent)", rows)
+	return rows
+}
+
+// Fig2de reproduces Figures 2(d) and 2(e): DiLOS throughput and RDMA
+// link utilization under 1–3 MRPS offered load.
+func Fig2de(opt Options) map[string][]Point {
+	b := microBuilder(0.20, nil)
+	loads := opt.loads([]float64{1000, 1200, 1400, 1600, 1800, 2000, 2200, 2400, 2600, 2800, 3000})
+	series := opt.sweep(b, []core.Mode{core.DiLOS}, loads)
+	opt.printSweep("Figures 2(d,e): DiLOS throughput and RDMA utilization vs offered load", series)
+	return series
+}
+
+// Fig7ab reproduces Figures 7(a) and 7(b): P99.9 and P50 latency versus
+// achieved throughput for Hermit, DiLOS, DiLOS-P, and Adios.
+func Fig7ab(opt Options) map[string][]Point {
+	b := microBuilder(0.20, nil)
+	loads := opt.loads([]float64{200, 500, 700, 900, 1100, 1300, 1500, 1800, 2100, 2400, 2700})
+	series := opt.sweep(b, []core.Mode{core.Hermit, core.DiLOS, core.DiLOSP, core.Adios}, loads)
+	opt.printSweep("Figures 7(a,b): P99.9/P50 vs throughput, all systems", series)
+	return series
+}
+
+// Fig7c reproduces Figure 7(c): Adios breakdown at 1.3 MRPS. Compared
+// with Figure 2(c), busy-waiting is gone and queueing collapses.
+func Fig7c(opt Options) []breakdownRow {
+	rows := opt.runBreakdown(microBuilder(0.20, nil), core.Adios, 1_300_000)
+	opt.printBreakdown("Figure 7(c): Adios breakdown at 1.3 MRPS", rows)
+	return rows
+}
+
+// Fig7de reproduces Figures 7(d) and 7(e): throughput and RDMA link
+// utilization of Adios vs DiLOS.
+func Fig7de(opt Options) map[string][]Point {
+	b := microBuilder(0.20, nil)
+	loads := opt.loads([]float64{1000, 1200, 1400, 1600, 1800, 2000, 2200, 2400, 2600, 2800, 3000})
+	series := opt.sweep(b, []core.Mode{core.DiLOS, core.Adios}, loads)
+	opt.printSweep("Figures 7(d,e): throughput and RDMA utilization, Adios vs DiLOS", series)
+	return series
+}
+
+// Fig8 reproduces Figure 8: P99 latency of DiLOS and Adios with local
+// DRAM from 10% to 100% of the working set.
+func Fig8(opt Options) map[string][]Point {
+	locals := []float64{0.10, 0.20, 0.40, 0.60, 0.80, 1.00}
+	loads := []float64{400, 800, 1200, 1600, 2000, 2400, 2800}
+	if opt.Short {
+		locals = []float64{0.10, 0.20, 1.00}
+		loads = []float64{800, 1600, 2400}
+	}
+	out := make(map[string][]Point)
+	opt.printf("\n# Figure 8: P99 vs throughput across local-DRAM sizes\n")
+	opt.printf("%-11s %7s %9s %9s %10s %6s\n", "system", "local%", "offered_K", "tput_K", "p99_us", "util%")
+	for _, frac := range locals {
+		b := microBuilder(frac, nil)
+		for _, mode := range []core.Mode{core.DiLOS, core.Adios} {
+			for _, k := range loads {
+				pt := opt.runPoint(b, mode, k*1000)
+				key := pt.Mode
+				out[key] = append(out[key], pt)
+				opt.printf("%-11s %7.0f %9.0f %9.0f %10.1f %6.1f\n",
+					pt.Mode, frac*100, pt.OfferedK, pt.TputK, pt.P99us, pt.LinkUtil*100)
+			}
+		}
+	}
+	return out
+}
+
+// Fig9 reproduces Figure 9: Adios with and without polling delegation.
+func Fig9(opt Options) map[string][]Point {
+	loads := opt.loads([]float64{400, 800, 1200, 1600, 1900, 2200, 2500, 2800})
+	withDeleg := opt.sweep(microBuilder(0.20, nil), []core.Mode{core.Adios}, loads)
+	without := opt.sweep(microBuilder(0.20, withTx(sched.SyncTx)), []core.Mode{core.Adios}, loads)
+	series := map[string][]Point{
+		"Adios":        withDeleg["Adios"],
+		"Adios-SyncTx": without["Adios"],
+	}
+	opt.printSweep("Figure 9: effect of polling delegation (TX mechanisms)", series)
+	return series
+}

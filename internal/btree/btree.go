@@ -1,0 +1,386 @@
+// Package btree is a B+tree over paged remote memory: one node per
+// 4 KiB page, uint64 keys and values, leaf-linked for range scans. Every
+// descent, scan, and split goes through the paging subsystem, so index
+// traversals fault exactly like the pointer-chasing index structures
+// (Masstree in Silo, PlainTable's index) of the paper's applications.
+//
+// The tree supports setup-time bulk loading from sorted pairs (building
+// the database before measurement, like the paper's load phases) and
+// runtime Insert/Lookup/Range through a workload execution context.
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/memnode"
+	"repro/internal/paging"
+)
+
+// Node layout within one page:
+//
+//	0:4   flags (1 = leaf)
+//	4:8   count
+//	8:16  next-leaf page id (leaves) / unused (internal)
+//	16:   entries
+//	      leaf:     count × (key u64, value u64)
+//	      internal: count × (key u64, child u64); child holds keys < key,
+//	                plus a final child at entry slot count (key ignored).
+const (
+	hdrSize   = 16
+	entrySize = 16
+	// MaxEntries is the per-node fan-out. One slot of the page is held
+	// back so a node may be transiently overfull (MaxEntries+1 entries)
+	// during an insert, right before it splits, without spilling into
+	// the neighbouring page.
+	MaxEntries = (paging.PageSize-hdrSize)/entrySize - 1 // 254
+)
+
+// Tree is the B+tree handle. The root page id and allocation cursor are
+// in-core metadata (a real system keeps them in a superblock).
+type Tree struct {
+	space *paging.Space
+	root  int64
+	used  int64 // pages allocated
+	size  int64 // number of keys
+
+	// fill bounds node occupancy for bulk loading (leave headroom for
+	// runtime inserts).
+	fill int
+}
+
+// New creates an empty tree inside a fresh region of node (capacity
+// pages of index space).
+func New(mgr *paging.Manager, node *memnode.Node, name string, capacityPages int64) *Tree {
+	if capacityPages < 4 {
+		capacityPages = 4
+	}
+	region := node.MustAlloc(name, capacityPages*paging.PageSize)
+	t := &Tree{space: mgr.NewSpace(name, region), fill: MaxEntries * 3 / 4}
+	// Page 0 is the initial empty leaf root.
+	t.root = 0
+	t.used = 1
+	t.writeHeaderDirect(0, true, 0, -1)
+	return t
+}
+
+// Space exposes the underlying paged space (sizing, preloading).
+func (t *Tree) Space() *paging.Space { return t.space }
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int64 { return t.size }
+
+// --- direct (setup-time) node accessors ---
+
+func (t *Tree) writeHeaderDirect(page int64, leaf bool, count int, next int64) {
+	var b [hdrSize]byte
+	if leaf {
+		binary.LittleEndian.PutUint32(b[0:4], 1)
+	}
+	binary.LittleEndian.PutUint32(b[4:8], uint32(count))
+	binary.LittleEndian.PutUint64(b[8:16], uint64(next))
+	t.space.WriteDirect(page*paging.PageSize, b[:])
+}
+
+func (t *Tree) writeEntryDirect(page int64, slot int, key, val uint64) {
+	var b [entrySize]byte
+	binary.LittleEndian.PutUint64(b[0:8], key)
+	binary.LittleEndian.PutUint64(b[8:16], val)
+	t.space.WriteDirect(page*paging.PageSize+hdrSize+int64(slot)*entrySize, b[:])
+}
+
+// BulkLoad builds the tree from key-sorted pairs at setup time (direct
+// writes, no simulated cost). The tree must be empty. Keys must be
+// strictly increasing.
+func (t *Tree) BulkLoad(keys, vals []uint64) {
+	if t.size != 0 {
+		panic("btree: bulk load into non-empty tree")
+	}
+	if len(keys) != len(vals) {
+		panic("btree: keys/vals length mismatch")
+	}
+	if len(keys) == 0 {
+		return
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		panic("btree: bulk load requires sorted keys")
+	}
+	// Build leaves.
+	type nodeRef struct {
+		page int64
+		min  uint64
+	}
+	var level []nodeRef
+	t.used = 0
+	for i := 0; i < len(keys); {
+		n := t.fill
+		if rem := len(keys) - i; rem < n {
+			n = rem
+		}
+		page := t.alloc()
+		for s := 0; s < n; s++ {
+			t.writeEntryDirect(page, s, keys[i+s], vals[i+s])
+		}
+		level = append(level, nodeRef{page: page, min: keys[i]})
+		i += n
+		next := int64(-1)
+		if i < len(keys) {
+			next = page + 1 // leaves are allocated contiguously
+		}
+		t.writeHeaderDirect(page, true, n, next)
+	}
+	// Build internal levels bottom-up.
+	for len(level) > 1 {
+		var up []nodeRef
+		for i := 0; i < len(level); {
+			n := t.fill
+			if rem := len(level) - i; rem < n {
+				n = rem
+			}
+			page := t.alloc()
+			for s := 0; s < n; s++ {
+				t.writeEntryDirect(page, s, level[i+s].min, uint64(level[i+s].page))
+			}
+			t.writeHeaderDirect(page, false, n, -1)
+			up = append(up, nodeRef{page: page, min: level[i].min})
+			i += n
+		}
+		level = up
+	}
+	t.root = level[0].page
+	t.size = int64(len(keys))
+}
+
+func (t *Tree) alloc() int64 {
+	if (t.used+1)*paging.PageSize > t.space.Size() {
+		panic(fmt.Sprintf("btree: %s out of index pages (%d used)", t.space.Name(), t.used))
+	}
+	p := t.used
+	t.used++
+	return p
+}
+
+// --- runtime (paged, costed) node accessors ---
+
+type thread = paging.Thread
+
+func (t *Tree) header(ctx thread, page int64) (leaf bool, count int, next int64) {
+	flags := t.space.LoadU32(ctx, page*paging.PageSize)
+	cnt := t.space.LoadU32(ctx, page*paging.PageSize+4)
+	nxt := int64(t.space.LoadU64(ctx, page*paging.PageSize+8))
+	return flags&1 == 1, int(cnt), nxt
+}
+
+func (t *Tree) entry(ctx thread, page int64, slot int) (key, val uint64) {
+	off := page*paging.PageSize + hdrSize + int64(slot)*entrySize
+	return t.space.LoadU64(ctx, off), t.space.LoadU64(ctx, off+8)
+}
+
+func (t *Tree) setEntry(ctx thread, page int64, slot int, key, val uint64) {
+	off := page*paging.PageSize + hdrSize + int64(slot)*entrySize
+	t.space.StoreU64(ctx, off, key)
+	t.space.StoreU64(ctx, off+8, val)
+}
+
+func (t *Tree) setHeader(ctx thread, page int64, leaf bool, count int, next int64) {
+	var flags uint32
+	if leaf {
+		flags = 1
+	}
+	t.space.StoreU32(ctx, page*paging.PageSize, flags)
+	t.space.StoreU32(ctx, page*paging.PageSize+4, uint32(count))
+	t.space.StoreU64(ctx, page*paging.PageSize+8, uint64(next))
+}
+
+// lowerBound returns the first slot whose key is >= key (binary search
+// within the node; single page access pattern).
+func (t *Tree) lowerBound(ctx thread, page int64, count int, key uint64) int {
+	lo, hi := 0, count
+	for lo < hi {
+		mid := (lo + hi) / 2
+		k, _ := t.entry(ctx, page, mid)
+		if k < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childFor returns the child page to descend into for key.
+func (t *Tree) childFor(ctx thread, page int64, count int, key uint64) int64 {
+	// Entries hold (minKey, child); pick the last child whose minKey <= key.
+	idx := t.lowerBound(ctx, page, count, key)
+	if idx < count {
+		if k, _ := t.entry(ctx, page, idx); k == key {
+			_, c := t.entry(ctx, page, idx)
+			return int64(c)
+		}
+	}
+	if idx == 0 {
+		_, c := t.entry(ctx, page, 0)
+		return int64(c)
+	}
+	_, c := t.entry(ctx, page, idx-1)
+	return int64(c)
+}
+
+// Lookup returns the value stored for key.
+func (t *Tree) Lookup(ctx thread, key uint64) (uint64, bool) {
+	page := t.root
+	for {
+		leaf, count, _ := t.header(ctx, page)
+		if leaf {
+			idx := t.lowerBound(ctx, page, count, key)
+			if idx < count {
+				if k, v := t.entry(ctx, page, idx); k == key {
+					return v, true
+				}
+			}
+			return 0, false
+		}
+		if count == 0 {
+			return 0, false
+		}
+		page = t.childFor(ctx, page, count, key)
+	}
+}
+
+// Range invokes fn for every pair with lo <= key <= hi, ascending, until
+// fn returns false. Leaf links make this a sequential scan.
+func (t *Tree) Range(ctx thread, lo, hi uint64, fn func(key, val uint64) bool) {
+	page := t.root
+	for {
+		leaf, count, _ := t.header(ctx, page)
+		if leaf {
+			break
+		}
+		if count == 0 {
+			return
+		}
+		page = t.childFor(ctx, page, count, lo)
+	}
+	for page >= 0 {
+		_, count, next := t.header(ctx, page)
+		idx := t.lowerBound(ctx, page, count, lo)
+		for ; idx < count; idx++ {
+			k, v := t.entry(ctx, page, idx)
+			if k > hi {
+				return
+			}
+			if !fn(k, v) {
+				return
+			}
+		}
+		page = next
+	}
+}
+
+// Insert stores (key, value), replacing any existing value. Node splits
+// propagate upward; a root split grows the tree.
+func (t *Tree) Insert(ctx thread, key, val uint64) {
+	promoted, newPage := t.insertAt(ctx, t.root, key, val)
+	if newPage < 0 {
+		return
+	}
+	// Root split: new root with two children.
+	oldRoot := t.root
+	oldMin := t.minKey(ctx, oldRoot)
+	root := t.alloc()
+	t.setHeader(ctx, root, false, 2, -1)
+	t.setEntry(ctx, root, 0, oldMin, uint64(oldRoot))
+	t.setEntry(ctx, root, 1, promoted, uint64(newPage))
+	t.root = root
+}
+
+// minKey returns the smallest key reachable from page.
+func (t *Tree) minKey(ctx thread, page int64) uint64 {
+	for {
+		leaf, count, _ := t.header(ctx, page)
+		if count == 0 {
+			return 0
+		}
+		k, v := t.entry(ctx, page, 0)
+		if leaf {
+			return k
+		}
+		_ = k
+		page = int64(v)
+	}
+}
+
+// insertAt inserts into the subtree rooted at page. On split it returns
+// the promoted separator key and the new right-sibling page; otherwise
+// newPage is -1.
+func (t *Tree) insertAt(ctx thread, page int64, key, val uint64) (promoted uint64, newPage int64) {
+	leaf, count, next := t.header(ctx, page)
+	if leaf {
+		idx := t.lowerBound(ctx, page, count, key)
+		if idx < count {
+			if k, _ := t.entry(ctx, page, idx); k == key {
+				t.setEntry(ctx, page, idx, key, val) // replace
+				return 0, -1
+			}
+		}
+		t.shiftRight(ctx, page, idx, count)
+		t.setEntry(ctx, page, idx, key, val)
+		count++
+		t.size++
+		if count <= MaxEntries {
+			t.setHeader(ctx, page, true, count, next)
+			return 0, -1
+		}
+		return t.split(ctx, page, true, count, next)
+	}
+
+	child := t.childFor(ctx, page, count, key)
+	// Keep separators correct for keys below the subtree minimum.
+	if k0, _ := t.entry(ctx, page, 0); key < k0 {
+		_, c0 := t.entry(ctx, page, 0)
+		t.setEntry(ctx, page, 0, key, c0)
+	}
+	pk, np := t.insertAt(ctx, child, key, val)
+	if np < 0 {
+		return 0, -1
+	}
+	idx := t.lowerBound(ctx, page, count, pk)
+	t.shiftRight(ctx, page, idx, count)
+	t.setEntry(ctx, page, idx, pk, uint64(np))
+	count++
+	if count <= MaxEntries {
+		t.setHeader(ctx, page, false, count, -1)
+		return 0, -1
+	}
+	return t.split(ctx, page, false, count, -1)
+}
+
+// shiftRight opens a slot at idx in a node holding count entries.
+func (t *Tree) shiftRight(ctx thread, page int64, idx, count int) {
+	for s := count; s > idx; s-- {
+		k, v := t.entry(ctx, page, s-1)
+		t.setEntry(ctx, page, s, k, v)
+	}
+}
+
+// split moves the upper half of an overfull node into a fresh page and
+// returns the promoted separator.
+func (t *Tree) split(ctx thread, page int64, leaf bool, count int, next int64) (uint64, int64) {
+	right := t.alloc()
+	half := count / 2
+	moved := count - half
+	for s := 0; s < moved; s++ {
+		k, v := t.entry(ctx, page, half+s)
+		t.setEntry(ctx, right, s, k, v)
+	}
+	if leaf {
+		t.setHeader(ctx, right, true, moved, next)
+		t.setHeader(ctx, page, true, half, right)
+	} else {
+		t.setHeader(ctx, right, false, moved, -1)
+		t.setHeader(ctx, page, false, half, -1)
+	}
+	sep, _ := t.entry(ctx, right, 0)
+	return sep, right
+}

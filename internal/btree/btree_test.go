@@ -1,0 +1,281 @@
+package btree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memnode"
+	"repro/internal/paging"
+	"repro/internal/rdma"
+	"repro/internal/sim"
+)
+
+type ctxThread struct {
+	env  *sim.Env
+	proc *sim.Proc
+	mgr  *paging.Manager
+	qp   *rdma.QP
+	gate *sim.Gate
+}
+
+func (t *ctxThread) Proc() *sim.Proc { return t.proc }
+func (t *ctxThread) QP() *rdma.QP    { return t.qp }
+func (t *ctxThread) WaitPage(s *paging.Space, vpn int64) {
+	for !s.Resident(vpn) {
+		if t.mgr.RequestPage(t, s, vpn, t.gate.Wake, true) {
+			return
+		}
+		t.gate.Wait(t.proc)
+	}
+}
+
+// run executes fn as a simulated thread over a fresh tree whose paging
+// pool holds localPages frames.
+func run(t *testing.T, capacityPages, localPages int64, fn func(ctx paging.Thread, tr *Tree, mgr *paging.Manager)) {
+	t.Helper()
+	env := sim.NewEnv(13)
+	mgr := paging.NewManager(env, paging.DefaultConfig(localPages*paging.PageSize))
+	node := memnode.New(1 << 30)
+	tr := New(mgr, node, "idx", capacityPages)
+
+	nic := rdma.NewNIC(env, rdma.DefaultConfig())
+	cq := rdma.NewCQ("t")
+	qp := nic.CreateQP("t", cq)
+	cq.Notify = func() {
+		for _, c := range cq.Poll(64) {
+			mgr.Complete(c.Cookie.(*paging.Fetch))
+		}
+	}
+	rcq := rdma.NewCQ("reclaim")
+	mgr.StartReclaimer(nic.CreateQP("reclaim", rcq), rcq)
+
+	env.Go("driver", func(p *sim.Proc) {
+		fn(&ctxThread{env: env, proc: p, mgr: mgr, qp: qp, gate: sim.NewGate(env)}, tr, mgr)
+	})
+	env.Run(sim.Seconds(600))
+}
+
+func TestBulkLoadAndLookup(t *testing.T) {
+	const n = 10000
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i * 7)
+		vals[i] = uint64(i * 13)
+	}
+	run(t, 256, 64, func(ctx paging.Thread, tr *Tree, mgr *paging.Manager) {
+		tr.BulkLoad(keys, vals)
+		if tr.Len() != n {
+			t.Errorf("len = %d", tr.Len())
+			return
+		}
+		for i := 0; i < n; i += 97 {
+			v, ok := tr.Lookup(ctx, keys[i])
+			if !ok || v != vals[i] {
+				t.Errorf("lookup %d = %d,%v want %d", keys[i], v, ok, vals[i])
+				return
+			}
+		}
+		// Absent keys.
+		if _, ok := tr.Lookup(ctx, 3); ok {
+			t.Error("found nonexistent key 3")
+		}
+		if _, ok := tr.Lookup(ctx, uint64(n*7+100)); ok {
+			t.Error("found key beyond max")
+		}
+	})
+}
+
+func TestRangeScan(t *testing.T) {
+	const n = 5000
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i * 3)
+		vals[i] = uint64(i)
+	}
+	run(t, 128, 32, func(ctx paging.Thread, tr *Tree, mgr *paging.Manager) {
+		tr.BulkLoad(keys, vals)
+		var got []uint64
+		tr.Range(ctx, 300, 360, func(k, v uint64) bool {
+			got = append(got, k)
+			return true
+		})
+		want := []uint64{300, 303, 306, 309, 312, 315, 318, 321, 324, 327, 330,
+			333, 336, 339, 342, 345, 348, 351, 354, 357, 360}
+		if len(got) != len(want) {
+			t.Errorf("range = %v", got)
+			return
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("range[%d] = %d want %d", i, got[i], want[i])
+				return
+			}
+		}
+		// Early termination.
+		count := 0
+		tr.Range(ctx, 0, 1<<62, func(k, v uint64) bool {
+			count++
+			return count < 10
+		})
+		if count != 10 {
+			t.Errorf("early-stop range visited %d", count)
+		}
+	})
+}
+
+func TestInsertIntoEmptyAndGrow(t *testing.T) {
+	// Enough inserts to force leaf and root splits (MaxEntries=255).
+	const n = 3000
+	run(t, 256, 128, func(ctx paging.Thread, tr *Tree, mgr *paging.Manager) {
+		rng := sim.NewRNG(7)
+		ref := map[uint64]uint64{}
+		for i := 0; i < n; i++ {
+			k := uint64(rng.Int63n(1 << 30))
+			v := uint64(i)
+			tr.Insert(ctx, k, v)
+			ref[k] = v
+		}
+		if tr.Len() != int64(len(ref)) {
+			t.Errorf("len = %d, want %d", tr.Len(), len(ref))
+			return
+		}
+		for k, v := range ref {
+			got, ok := tr.Lookup(ctx, k)
+			if !ok || got != v {
+				t.Errorf("lookup %d = %d,%v want %d", k, got, ok, v)
+				return
+			}
+		}
+		// Full iteration must be sorted and complete.
+		var prev uint64
+		count := 0
+		tr.Range(ctx, 0, 1<<62, func(k, v uint64) bool {
+			if count > 0 && k <= prev {
+				t.Errorf("iteration not strictly increasing at %d", k)
+				return false
+			}
+			prev = k
+			count++
+			return true
+		})
+		if count != len(ref) {
+			t.Errorf("iterated %d, want %d", count, len(ref))
+		}
+	})
+}
+
+func TestInsertReplacesValue(t *testing.T) {
+	run(t, 64, 32, func(ctx paging.Thread, tr *Tree, mgr *paging.Manager) {
+		tr.Insert(ctx, 5, 1)
+		tr.Insert(ctx, 5, 2)
+		if tr.Len() != 1 {
+			t.Errorf("len = %d, want 1 after replace", tr.Len())
+		}
+		if v, ok := tr.Lookup(ctx, 5); !ok || v != 2 {
+			t.Errorf("lookup = %d,%v", v, ok)
+		}
+	})
+}
+
+func TestMixedBulkLoadThenInserts(t *testing.T) {
+	const n = 2000
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i * 10)
+		vals[i] = uint64(i)
+	}
+	run(t, 256, 64, func(ctx paging.Thread, tr *Tree, mgr *paging.Manager) {
+		tr.BulkLoad(keys, vals)
+		// Insert between existing keys.
+		for i := 0; i < 500; i++ {
+			tr.Insert(ctx, uint64(i*10+5), uint64(1000+i))
+		}
+		for i := 0; i < 500; i++ {
+			if v, ok := tr.Lookup(ctx, uint64(i*10+5)); !ok || v != uint64(1000+i) {
+				t.Errorf("inserted key %d missing", i*10+5)
+				return
+			}
+			if v, ok := tr.Lookup(ctx, uint64(i*10)); !ok || v != uint64(i) {
+				t.Errorf("bulk key %d damaged", i*10)
+				return
+			}
+		}
+	})
+}
+
+func TestQuickPropertyAgainstMap(t *testing.T) {
+	// Property: after an arbitrary op sequence, lookups agree with a map
+	// and iteration matches the map's sorted keys.
+	type opSeq struct {
+		Keys []uint16
+	}
+	check := func(seq opSeq) bool {
+		if len(seq.Keys) == 0 {
+			return true
+		}
+		ok := true
+		run(t, 512, 256, func(ctx paging.Thread, tr *Tree, mgr *paging.Manager) {
+			ref := map[uint64]uint64{}
+			for i, raw := range seq.Keys {
+				k := uint64(raw)
+				tr.Insert(ctx, k, uint64(i))
+				ref[k] = uint64(i)
+			}
+			for k, v := range ref {
+				got, found := tr.Lookup(ctx, k)
+				if !found || got != v {
+					ok = false
+					return
+				}
+			}
+			var want []uint64
+			for k := range ref {
+				want = append(want, k)
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			idx := 0
+			tr.Range(ctx, 0, 1<<62, func(k, v uint64) bool {
+				if idx >= len(want) || k != want[idx] {
+					ok = false
+					return false
+				}
+				idx++
+				return true
+			})
+			if idx != len(want) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeFaultsThroughPaging(t *testing.T) {
+	const n = 20000
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i], vals[i] = uint64(i), uint64(i)
+	}
+	run(t, 512, 24, func(ctx paging.Thread, tr *Tree, mgr *paging.Manager) {
+		tr.BulkLoad(keys, vals)
+		rng := sim.NewRNG(3)
+		for i := 0; i < 300; i++ {
+			k := uint64(rng.Int63n(n))
+			if v, ok := tr.Lookup(ctx, k); !ok || v != k {
+				t.Errorf("lookup %d failed under paging pressure", k)
+				return
+			}
+		}
+		if mgr.Faults.Value() == 0 {
+			t.Error("tree lookups never faulted with a tiny frame pool")
+		}
+	})
+}

@@ -1,0 +1,227 @@
+// Package core assembles the full disaggregated system and exposes the
+// public build-and-run API: pick a Mode (Adios, DiLOS, DiLOS-P, Hermit,
+// or legacy Infiniswap), a local-DRAM size, and a workload; run a load
+// sweep; read back latency percentiles, throughput, and link
+// utilization.
+//
+// All modes share one data plane — the RDMA fabric, the paging
+// subsystem, the unithread scheduler — and differ only in policy
+// (wait/dispatch/TX) and in calibrated cost constants, so performance
+// differences between systems emerge from the mechanisms the paper
+// credits rather than from divergent code paths.
+package core
+
+import (
+	"repro/internal/ethernet"
+	"repro/internal/loadgen"
+	"repro/internal/memnode"
+	"repro/internal/paging"
+	"repro/internal/rdma"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/unithread"
+	"repro/internal/workload"
+)
+
+// Mode identifies a system under test.
+type Mode int
+
+const (
+	// Adios: yield-based page fault handling, PF-aware dispatch, polling
+	// delegation (§3).
+	Adios Mode = iota
+	// DiLOS: unikernel busy-wait page fault handling (the paper's
+	// primary baseline).
+	DiLOS
+	// DiLOSP is DiLOS plus Concord-style cooperative preemption with a
+	// 5 µs quantum (the paper's DiLOS-P).
+	DiLOSP
+	// Hermit: kernel-based busy-wait MD with async non-urgent work;
+	// carries kernel fault/network overheads and OS scheduling jitter.
+	Hermit
+	// Infiniswap: legacy yield-based paging through the heavyweight
+	// kernel scheduler — interrupt wake-ups and multi-microsecond
+	// context switches (§7's historical anchor; excluded from the
+	// paper's plots for being off-scale, included here as an extension).
+	Infiniswap
+)
+
+// String returns the mode's display name.
+func (m Mode) String() string {
+	switch m {
+	case Adios:
+		return "Adios"
+	case DiLOS:
+		return "DiLOS"
+	case DiLOSP:
+		return "DiLOS-P"
+	case Hermit:
+		return "Hermit"
+	case Infiniswap:
+		return "Infiniswap"
+	}
+	return "unknown"
+}
+
+// Config assembles a system under test.
+type Config struct {
+	Mode   Mode
+	Sched  sched.Config
+	RDMA   rdma.Config
+	Eth    ethernet.Config
+	Paging paging.Config
+
+	// PoolSize and BufSize configure the unithread pool (§3.2).
+	PoolSize int
+	BufSize  int
+
+	// MemNodeBytes is the memory node capacity.
+	MemNodeBytes int64
+
+	Seed int64
+}
+
+// Preset returns the calibrated configuration for a mode with the given
+// local DRAM cache size.
+func Preset(mode Mode, localBytes int64) Config {
+	cfg := Config{
+		Mode:         mode,
+		Sched:        sched.DefaultConfig(),
+		RDMA:         rdma.DefaultConfig(),
+		Eth:          ethernet.DefaultConfig(),
+		Paging:       paging.DefaultConfig(localBytes),
+		PoolSize:     unithread.DefaultPoolSize,
+		BufSize:      unithread.DefaultBufSize,
+		MemNodeBytes: 8 << 30,
+		Seed:         1,
+	}
+	switch mode {
+	case Adios:
+		cfg.Sched.Wait = sched.Yield
+		cfg.Sched.Dispatch = sched.PFAware
+		cfg.Sched.Tx = sched.DelegatedTx
+	case DiLOS:
+		cfg.Sched.Wait = sched.BusyWait
+		cfg.Sched.Dispatch = sched.RoundRobin
+		cfg.Sched.Tx = sched.SyncTx
+	case DiLOSP:
+		cfg.Sched.Wait = sched.BusyWait
+		cfg.Sched.Dispatch = sched.RoundRobin
+		cfg.Sched.Tx = sched.SyncTx
+		cfg.Sched.Preempt = true
+	case Hermit:
+		cfg.Sched.Wait = sched.BusyWait
+		cfg.Sched.Dispatch = sched.RoundRobin
+		cfg.Sched.Tx = sched.SyncTx
+		// Kernel-path overheads beyond the unikernel baseline. Hermit
+		// overlaps ~10 % of non-urgent fault work asynchronously (§2.3),
+		// which is already discounted from KernelFaultExtra.
+		cfg.Sched.Costs.KernelFaultExtra = 1500
+		cfg.Sched.Costs.KernelNetExtra = 1200
+		cfg.Sched.Costs.JitterProb = 0.004
+		cfg.Sched.Costs.JitterMean = sim.Micros(130)
+	case Infiniswap:
+		cfg.Sched.Wait = sched.Yield
+		cfg.Sched.Dispatch = sched.RoundRobin
+		cfg.Sched.Tx = sched.SyncTx
+		// Interrupt-driven wake-up plus kernel context switches: ~4 µs
+		// per switch (the figure §7 cites), charged on the fault path.
+		cfg.Sched.Costs.UnithreadSwitch = sim.Micros(4)
+		cfg.Sched.Costs.KernelFaultExtra = sim.Micros(5)
+		cfg.Sched.Costs.KernelNetExtra = 2600
+		cfg.Sched.Costs.JitterProb = 0.0025
+		cfg.Sched.Costs.JitterMean = sim.Micros(120)
+	}
+	return cfg
+}
+
+// System is an assembled compute node + memory node + client network.
+type System struct {
+	Cfg   Config
+	Env   *sim.Env
+	Net   *ethernet.Net
+	NIC   *rdma.NIC
+	Node  *memnode.Node
+	Mgr   *paging.Manager
+	Pool  *unithread.Pool
+	Sched *sched.Scheduler // nil until Start
+}
+
+// NewSystem builds the data plane. Applications then allocate their
+// spaces (via Mgr and Node) before Start wires the scheduler.
+func NewSystem(cfg Config) *System {
+	env := sim.NewEnv(cfg.Seed)
+	return &System{
+		Cfg:  cfg,
+		Env:  env,
+		Net:  ethernet.New(env, cfg.Eth),
+		NIC:  rdma.NewNIC(env, cfg.RDMA),
+		Node: memnode.New(cfg.MemNodeBytes),
+		Mgr:  paging.NewManager(env, cfg.Paging),
+		Pool: unithread.NewPool(cfg.PoolSize, cfg.BufSize),
+	}
+}
+
+// Start launches the scheduler (dispatcher + workers) for the given
+// handler and the pinned reclaimer thread.
+func (sys *System) Start(handler workload.Handler) {
+	sys.Sched = sched.New(sys.Env, sys.Cfg.Sched, sys.Net, sys.NIC, sys.Mgr, sys.Pool, handler)
+	sys.Sched.Start()
+	rcq := rdma.NewCQ("reclaimer")
+	rqp := sys.NIC.CreateQP("reclaimer", rcq)
+	sys.Mgr.StartReclaimer(rqp, rcq)
+}
+
+// RunResult summarizes one measured run.
+type RunResult struct {
+	Mode      Mode
+	OfferedK  float64 // offered load, KRPS
+	TputK     float64 // achieved throughput, KRPS
+	P50us     float64
+	P99us     float64
+	P999us    float64
+	MeanUs    float64
+	LinkUtil  float64 // RDMA inbound (fetch) link utilization
+	Drops     int64   // RX + central-queue + pool drops
+	Faults    int64
+	Completed int64
+
+	// Breakdown aggregates (cycles) over completed requests, for the
+	// Figure 2(c)/7(c) decomposition.
+	Gen *loadgen.Gen // full histograms for CDFs and per-class latency
+}
+
+// Run drives the system with app at rateRPS for warmup+measure simulated
+// time and returns the measurement. The system must have been started.
+func (sys *System) Run(app workload.App, rateRPS float64, warmup, measure sim.Time) RunResult {
+	end := warmup + measure
+	gen := loadgen.Start(sys.Env, sys.Net, app, rateRPS, warmup, end)
+	if c, ok := app.(interface{ Classify(any) string }); ok {
+		gen.Classifier = c.Classify
+	}
+	sys.Env.At(warmup, func() {
+		sys.NIC.StartWindow()
+		sys.Net.StartWindow()
+	})
+	// Capture utilization exactly at the window end, then drain so
+	// in-flight responses land.
+	var linkUtil float64
+	sys.Env.At(end, func() { linkUtil = sys.NIC.InUtilization() })
+	sys.Env.Run(end + sim.Millis(50))
+
+	now := end
+	return RunResult{
+		Mode:      sys.Cfg.Mode,
+		OfferedK:  rateRPS / 1000,
+		TputK:     gen.Throughput(now) / 1000,
+		P50us:     sim.Time(gen.E2E.P50()).Micros(),
+		P99us:     sim.Time(gen.E2E.P99()).Micros(),
+		P999us:    sim.Time(gen.E2E.P999()).Micros(),
+		MeanUs:    sim.Time(gen.E2E.Mean()).Micros(),
+		LinkUtil:  linkUtil,
+		Drops:     sys.Net.Drops.Value() + sys.Sched.DropsQueue.Value() + sys.Sched.DropsPool.Value(),
+		Faults:    sys.Mgr.Faults.Value(),
+		Completed: sys.Sched.Completed.Value(),
+		Gen:       gen,
+	}
+}

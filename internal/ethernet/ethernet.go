@@ -1,0 +1,228 @@
+// Package ethernet models the user-space Raw Ethernet path between the
+// load generator and the compute node: a full-duplex 100 GbE link with
+// serialization delay, a bounded RX ring (overflow = dropped requests,
+// the paper's open-loop drop behaviour), hardware TX/RX timestamps, and
+// TX completion delivery into an rdma.CQ.
+//
+// Reusing rdma.CQ for TX completions mirrors the paper's implementation
+// note that NVIDIA's Raw Ethernet feature shares the RDMA stack's
+// CQ/QP data structures — and it is exactly what makes polling delegation
+// (steering a worker's TX completions into the dispatcher's CQ) a
+// one-line configuration.
+package ethernet
+
+import (
+	"repro/internal/rdma"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Config is the client-link cost model.
+type Config struct {
+	// CyclesPerByte is the serialization delay of the client link.
+	CyclesPerByte float64
+	// WireOverhead is per-packet framing overhead in bytes (Ethernet +
+	// IP + UDP headers, preamble, FCS).
+	WireOverhead int
+	// Flight is the one-way propagation + NIC + switch latency.
+	Flight sim.Time
+	// RxRing bounds the compute node's receive ring; arrivals beyond it
+	// are dropped.
+	RxRing int
+	// TxCompletionLatency is the delay from the last byte leaving the
+	// node until the TX completion entry is visible in the CQ.
+	TxCompletionLatency sim.Time
+	// PostCost and PollCost are CPU costs charged by callers.
+	PostCost sim.Time
+	PollCost sim.Time
+
+	// LossProb injects random frame loss in each direction (0 = lossless
+	// datacenter fabric, the default). Used with the reliable transport
+	// layer to study retransmission behaviour.
+	LossProb float64
+}
+
+// DefaultConfig returns the calibrated 100 GbE client-link model.
+func DefaultConfig() Config {
+	return Config{
+		CyclesPerByte:       0.22,
+		WireOverhead:        60,
+		Flight:              sim.Micros(1.05),
+		RxRing:              4096,
+		TxCompletionLatency: sim.Micros(2.6),
+		PostCost:            100,
+		PollCost:            80,
+	}
+}
+
+// Packet is a request or response frame. Payload carries the decoded
+// application message; Size is the wire size used for timing.
+type Packet struct {
+	ID      uint64
+	Payload any
+	Size    int
+
+	// TxTime and RxTime are the generator-side hardware timestamps used
+	// to compute end-to-end latency, as in the paper's load generator.
+	TxTime sim.Time
+	RxTime sim.Time
+
+	// ArriveNode is when the request entered the compute node's RX ring.
+	ArriveNode sim.Time
+
+	// Ctx is opaque per-packet context for upper layers (the scheduler
+	// attaches its request record here).
+	Ctx any
+
+	// Class optionally labels the request kind (e.g. "GET" vs "SCAN")
+	// for per-class latency reporting. Stamped by the load generator at
+	// send time, so it survives the payload being replaced by the
+	// response.
+	Class string
+}
+
+// Net is the client-facing network of the compute node.
+type Net struct {
+	env *sim.Env
+	cfg Config
+
+	toNodeFreeAt   sim.Time
+	fromNodeFreeAt sim.Time
+
+	rx     []*Packet
+	rxHead int
+
+	// RxNotify, if set, is invoked when a packet lands in the RX ring
+	// (used to wake the dispatcher's gate).
+	RxNotify func()
+
+	// OnDeliver, if set, is invoked when a response packet reaches the
+	// load generator (with RxTime stamped).
+	OnDeliver func(*Packet)
+
+	Drops     stats.Counter // RX-ring overflow drops
+	LossDrops stats.Counter // frames lost to injected wire loss
+	RxCount   stats.Counter
+	TxCount   stats.Counter
+
+	txBusy stats.WindowedBusy
+}
+
+// New returns a client network bound to env.
+func New(env *sim.Env, cfg Config) *Net {
+	return &Net{env: env, cfg: cfg}
+}
+
+// Config returns the link cost model.
+func (n *Net) Config() Config { return n.cfg }
+
+// StartWindow begins the utilization measurement window.
+func (n *Net) StartWindow() { n.txBusy.StartWindow(int64(n.env.Now())) }
+
+// TxUtilization reports the response-direction utilization of the client
+// link over the current window.
+func (n *Net) TxUtilization() float64 { return n.txBusy.Utilization(int64(n.env.Now())) }
+
+// SendToNode transmits a request frame from the load generator to the
+// compute node. The frame is serialized on the client→node direction and
+// lands in the RX ring (or is dropped if the ring is full).
+func (n *Net) SendToNode(pkt *Packet) {
+	if n.cfg.LossProb > 0 && n.env.Rand().Bool(n.cfg.LossProb) {
+		n.LossDrops.Inc()
+		return
+	}
+	start := n.env.Now()
+	if n.toNodeFreeAt > start {
+		start = n.toNodeFreeAt
+	}
+	xfer := sim.Time(float64(pkt.Size+n.cfg.WireOverhead) * n.cfg.CyclesPerByte)
+	done := start + xfer
+	n.toNodeFreeAt = done
+	arrive := done + n.cfg.Flight
+	n.env.At(arrive, func() {
+		if n.rxLen() >= n.cfg.RxRing {
+			n.Drops.Inc()
+			return
+		}
+		pkt.ArriveNode = arrive
+		n.rx = append(n.rx, pkt)
+		n.RxCount.Inc()
+		if n.RxNotify != nil {
+			n.RxNotify()
+		}
+	})
+}
+
+func (n *Net) rxLen() int { return len(n.rx) - n.rxHead }
+
+// RxLen reports the RX ring occupancy.
+func (n *Net) RxLen() int { return n.rxLen() }
+
+// PollRx removes and returns up to max packets from the RX ring. The
+// caller charges Config.PollCost.
+func (n *Net) PollRx(max int) []*Packet {
+	have := n.rxLen()
+	if have == 0 {
+		return nil
+	}
+	if have > max {
+		have = max
+	}
+	// Copy out: the dispatcher blocks (charging poll CPU) before
+	// consuming, and concurrent arrivals must not clobber its batch.
+	out := make([]*Packet, have)
+	copy(out, n.rx[n.rxHead:n.rxHead+have])
+	n.rxHead += have
+	if n.rxHead == len(n.rx) {
+		n.rx = n.rx[:0]
+		n.rxHead = 0
+	}
+	return out
+}
+
+// TxQueue is a per-worker raw-Ethernet send queue. Its completions are
+// delivered to the CQ chosen at creation time: the worker's own CQ for
+// synchronous TX, or the dispatcher's CQ under polling delegation.
+type TxQueue struct {
+	net  *Net
+	cq   *rdma.CQ
+	name string
+}
+
+// CreateTxQueue returns a send queue whose completions go to cq.
+func (n *Net) CreateTxQueue(name string, cq *rdma.CQ) *TxQueue {
+	return &TxQueue{net: n, cq: cq, name: name}
+}
+
+// Send transmits a response frame to the load generator. The frame
+// serializes on the node→client direction; the packet is delivered to the
+// generator (OnDeliver) after the flight, and a TX completion carrying
+// the packet as cookie is delivered to the queue's CQ.
+func (t *TxQueue) Send(pkt *Packet) {
+	n := t.net
+	if n.cfg.LossProb > 0 && n.env.Rand().Bool(n.cfg.LossProb) {
+		n.LossDrops.Inc()
+		return
+	}
+	start := n.env.Now()
+	if n.fromNodeFreeAt > start {
+		start = n.fromNodeFreeAt
+	}
+	xfer := sim.Time(float64(pkt.Size+n.cfg.WireOverhead) * n.cfg.CyclesPerByte)
+	done := start + xfer
+	n.fromNodeFreeAt = done
+	n.txBusy.AddInterval(int64(start), int64(done))
+	n.TxCount.Inc()
+
+	deliver := done + n.cfg.Flight
+	n.env.At(deliver, func() {
+		pkt.RxTime = deliver
+		if n.OnDeliver != nil {
+			n.OnDeliver(pkt)
+		}
+	})
+	complete := done + n.cfg.TxCompletionLatency
+	n.env.At(complete, func() {
+		t.cq.Inject(rdma.Completion{Kind: rdma.OpWrite, Bytes: pkt.Size, Cookie: pkt, At: complete})
+	})
+}

@@ -1,0 +1,337 @@
+// Package kvs is the Memcached-stand-in: an open-addressing (linear
+// probing) hash table whose slot array lives entirely in paged remote
+// memory. Every probe and every value read goes through the paging
+// subsystem, so a GET's fault profile matches a memory-disaggregated
+// key-value store: roughly one page fault per request at the paper's
+// 20 % local-memory ratio, more for values spanning pages.
+//
+// Keys are fixed 50-byte strings derived from a uint64 id (the paper's
+// Memcached runs used 50-byte keys); values are fixed-size and seeded
+// deterministically so every response is verified end to end.
+package kvs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/memnode"
+	"repro/internal/paging"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+const (
+	// KeySize matches the paper's Memcached configuration.
+	KeySize = 50
+	// keyArea is KeySize rounded up so the value pointer stays aligned.
+	keyArea = 56
+	// slotHeader holds the occupancy flag and an 8-bit hash tag used to
+	// skip most full-key comparisons.
+	slotHeader = 8
+	// slotSize is header + key area + 8-byte item offset. Values live
+	// out of line in the item space, as memcached keeps items in slabs
+	// separate from the hash table — a GET therefore touches (at least)
+	// one index page and one item page, the fault profile the paper's
+	// Memcached runs exhibit.
+	slotSize = slotHeader + keyArea + 8
+)
+
+// Config sizes the store.
+type Config struct {
+	// Keys is the number of objects loaded.
+	Keys int64
+	// ValueSize is the value payload per object (the paper uses 128 and
+	// 1024 bytes).
+	ValueSize int
+	// LoadFactor is occupied/capacity for the slot array (default 0.7).
+	LoadFactor float64
+
+	// ParseCost and ReplyCost model memcached's request parsing and
+	// response construction; ProbeCost the per-slot comparison.
+	ParseCost sim.Time
+	ReplyCost sim.Time
+	ProbeCost sim.Time
+
+	// GetRatio is the fraction of GET requests; the rest are SETs.
+	GetRatio float64
+}
+
+// DefaultConfig returns the paper's Memcached-like setup for the given
+// store size.
+func DefaultConfig(keys int64, valueSize int) Config {
+	return Config{
+		Keys:       keys,
+		ValueSize:  valueSize,
+		LoadFactor: 0.7,
+		ParseCost:  350,
+		ReplyCost:  350,
+		ProbeCost:  60,
+		GetRatio:   1.0,
+	}
+}
+
+// Store is the hash table plus the out-of-line item storage.
+type Store struct {
+	cfg      Config
+	mgr      *paging.Manager
+	index    *paging.Space // slot array
+	items    *paging.Space // slab-style item storage
+	slotSize int64
+	capacity int64 // power of two
+	mask     int64
+
+	// Mismatches counts verification failures on GET responses; Misses
+	// counts GETs for keys that were never loaded (should be zero with
+	// the standard generator).
+	Mismatches stats.Counter
+	Misses     stats.Counter
+}
+
+// Get is a GET request payload; Set a SET.
+type Get struct{ Key uint64 }
+
+// Set is a SET request payload.
+type Set struct {
+	Key  uint64
+	Salt byte // value generation salt, echoed into the stored value
+}
+
+// Value is the response payload: a digest of the value bytes rather than
+// the bytes themselves (the wire size is accounted separately).
+type Value struct {
+	Found  bool
+	Digest uint64
+}
+
+// New builds and loads the store: slot layout is computed, the backing
+// region is populated directly (setup time), and nothing is resident
+// until the caller warms the cache.
+func New(mgr *paging.Manager, node *memnode.Node, cfg Config) *Store {
+	if cfg.LoadFactor <= 0 || cfg.LoadFactor >= 1 {
+		panic(fmt.Sprintf("kvs: bad load factor %v", cfg.LoadFactor))
+	}
+	capacity := int64(1)
+	for float64(capacity)*cfg.LoadFactor < float64(cfg.Keys) {
+		capacity <<= 1
+	}
+	align := func(n int64) int64 {
+		return (n + paging.PageSize - 1) / paging.PageSize * paging.PageSize
+	}
+	idxRegion := node.MustAlloc("kvs/index", align(capacity*slotSize))
+	itemRegion := node.MustAlloc("kvs/items", align(cfg.Keys*int64(cfg.ValueSize)))
+	s := &Store{
+		cfg:      cfg,
+		mgr:      mgr,
+		index:    mgr.NewSpace("kvs/index", idxRegion),
+		items:    mgr.NewSpace("kvs/items", itemRegion),
+		slotSize: slotSize,
+		capacity: capacity,
+		mask:     capacity - 1,
+	}
+	s.load(idxRegion, itemRegion)
+	return s
+}
+
+// hash mixes a key id; the low bits choose a slot, bits 56+ form the tag.
+func hash(key uint64) uint64 {
+	h := key * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return h
+}
+
+// keyBytes materializes the canonical 50-byte key for an id.
+func keyBytes(key uint64, out []byte) {
+	binary.LittleEndian.PutUint64(out[:8], key)
+	for i := 8; i < KeySize; i++ {
+		out[i] = byte(key>>uint(i%8*8)) ^ byte(i*131)
+	}
+}
+
+// valueByte is the deterministic content byte i of key's value under a
+// given salt.
+func valueByte(key uint64, salt byte, i int) byte {
+	return byte(uint64(i)*0x65D200CE55B19AD9+key*0x4F2162926E40C299) ^ salt
+}
+
+// valueDigest folds the full value into a checkable 64-bit digest.
+func valueDigest(key uint64, salt byte, n int) uint64 {
+	var d uint64 = uint64(salt) + 1
+	for i := 0; i < n; i += 64 {
+		d = d*0x100000001B3 + uint64(valueByte(key, salt, i))
+	}
+	return d
+}
+
+// load populates the backing regions directly at setup time. Items are
+// laid out slab-style: item i at offset i*ValueSize.
+func (s *Store) load(idxRegion, itemRegion *memnode.Region) {
+	slot := make([]byte, s.slotSize)
+	for key := uint64(0); key < uint64(s.cfg.Keys); key++ {
+		idx := s.findFreeDirect(idxRegion, key)
+		h := hash(key)
+		binary.LittleEndian.PutUint64(slot[:8], 1|(h>>56)<<8) // occupied | tag
+		keyBytes(key, slot[slotHeader:slotHeader+KeySize])
+		for i := slotHeader + KeySize; i < slotHeader+keyArea; i++ {
+			slot[i] = 0
+		}
+		itemOff := int64(key) * int64(s.cfg.ValueSize)
+		binary.LittleEndian.PutUint64(slot[slotHeader+keyArea:], uint64(itemOff))
+		copy(idxRegion.Data[idx*s.slotSize:], slot)
+		for i := 0; i < s.cfg.ValueSize; i++ {
+			itemRegion.Data[itemOff+int64(i)] = valueByte(key, 0, i)
+		}
+	}
+}
+
+// findFreeDirect linearly probes the raw region for the load phase.
+func (s *Store) findFreeDirect(region *memnode.Region, key uint64) int64 {
+	idx := int64(hash(key)) & s.mask
+	for {
+		off := idx * s.slotSize
+		if region.Data[off]&1 == 0 {
+			return idx
+		}
+		idx = (idx + 1) & s.mask
+	}
+}
+
+// SpaceSize returns the total paged footprint (slot array + items), for
+// sizing local DRAM.
+func (s *Store) SpaceSize() int64 { return s.index.Size() + s.items.Size() }
+
+// WarmCache preloads the slot array up to the frame pool's steady-state
+// occupancy.
+func (s *Store) WarmCache() {
+	cfg := s.mgr.Config()
+	budget := int64(float64(s.mgr.TotalFrames())*(1-cfg.ReclaimThreshold-0.02)) * paging.PageSize
+	total := s.SpaceSize()
+	for _, sp := range []*paging.Space{s.index, s.items} {
+		share := int64(float64(budget) * float64(sp.Size()) / float64(total))
+		share = share / paging.PageSize * paging.PageSize
+		if share > sp.Size() {
+			share = sp.Size()
+		}
+		if share > 0 {
+			sp.Preload(0, share)
+		}
+	}
+}
+
+// get runs the paged GET path: probe slots from the hash bucket, verify
+// the tag and key, then read and digest the value.
+func (s *Store) get(ctx workload.Ctx, key uint64) Value {
+	var want [KeySize]byte
+	keyBytes(key, want[:])
+	tag := hash(key) >> 56
+	idx := int64(hash(key)) & s.mask
+	var hdr [slotHeader + KeySize]byte
+	for probes := int64(0); probes <= s.mask; probes++ {
+		ctx.Probe()
+		ctx.Compute(s.cfg.ProbeCost)
+		off := idx * s.slotSize
+		s.index.Load(ctx, off, hdr[:])
+		meta := binary.LittleEndian.Uint64(hdr[:8])
+		if meta&1 == 0 {
+			s.Misses.Inc()
+			return Value{}
+		}
+		if (meta>>8)&0xFF == tag&0xFF && string(hdr[slotHeader:]) == string(want[:]) {
+			itemOff := int64(s.index.LoadU64(ctx, off+slotHeader+keyArea))
+			val := make([]byte, s.cfg.ValueSize)
+			s.items.Load(ctx, itemOff, val)
+			// Values are salted at SET time; recover the salt from the
+			// first byte, then verify sampled bytes against it.
+			salt := val[0] ^ valueByte(key, 0, 0)
+			digest := uint64(salt) + 1
+			ok := true
+			for i := 0; i < s.cfg.ValueSize; i += 64 {
+				if val[i] != valueByte(key, salt, i) {
+					ok = false
+				}
+				digest = digest*0x100000001B3 + uint64(val[i])
+			}
+			if !ok {
+				s.Mismatches.Inc()
+			}
+			return Value{Found: true, Digest: digest}
+		}
+		idx = (idx + 1) & s.mask
+	}
+	s.Misses.Inc()
+	return Value{}
+}
+
+// set overwrites the value of an existing key with new salted content.
+func (s *Store) set(ctx workload.Ctx, key uint64, salt byte) Value {
+	var want [KeySize]byte
+	keyBytes(key, want[:])
+	tag := hash(key) >> 56
+	idx := int64(hash(key)) & s.mask
+	var hdr [slotHeader + KeySize]byte
+	for probes := int64(0); probes <= s.mask; probes++ {
+		ctx.Probe()
+		ctx.Compute(s.cfg.ProbeCost)
+		off := idx * s.slotSize
+		s.index.Load(ctx, off, hdr[:])
+		meta := binary.LittleEndian.Uint64(hdr[:8])
+		if meta&1 == 0 {
+			s.Misses.Inc()
+			return Value{}
+		}
+		if (meta>>8)&0xFF == tag&0xFF && string(hdr[slotHeader:]) == string(want[:]) {
+			itemOff := int64(s.index.LoadU64(ctx, off+slotHeader+keyArea))
+			val := make([]byte, s.cfg.ValueSize)
+			for i := range val {
+				val[i] = valueByte(key, salt, i)
+			}
+			s.items.Store(ctx, itemOff, val)
+			return Value{Found: true, Digest: valueDigest(key, salt, s.cfg.ValueSize)}
+		}
+		idx = (idx + 1) & s.mask
+	}
+	s.Misses.Inc()
+	return Value{}
+}
+
+// VerifyDigest recomputes the expected digest for a freshly loaded key
+// (salt 0), for end-to-end response checking in tests.
+func (s *Store) VerifyDigest(key uint64) uint64 {
+	return valueDigest(key, 0, s.cfg.ValueSize)
+}
+
+// Name implements workload.App.
+func (s *Store) Name() string {
+	return fmt.Sprintf("memcached-%dB", s.cfg.ValueSize)
+}
+
+// NextRequest implements workload.App: uniform GETs (and SETs when
+// GetRatio < 1) over the loaded keys, as in the paper's Memcached runs.
+func (s *Store) NextRequest(rng *sim.RNG) (any, int) {
+	key := uint64(rng.Int63n(s.cfg.Keys))
+	if s.cfg.GetRatio < 1 && !rng.Bool(s.cfg.GetRatio) {
+		return Set{Key: key, Salt: byte(rng.Intn(256))}, 64 + KeySize + s.cfg.ValueSize
+	}
+	return Get{Key: key}, 64 + KeySize
+}
+
+// Handler implements workload.App.
+func (s *Store) Handler() workload.Handler {
+	return func(ctx workload.Ctx, payload any) (any, int) {
+		ctx.Compute(s.cfg.ParseCost)
+		switch req := payload.(type) {
+		case Get:
+			v := s.get(ctx, req.Key)
+			ctx.Compute(s.cfg.ReplyCost)
+			return v, 64 + s.cfg.ValueSize
+		case Set:
+			v := s.set(ctx, req.Key, req.Salt)
+			ctx.Compute(s.cfg.ReplyCost)
+			return v, 64
+		default:
+			panic(fmt.Sprintf("kvs: unknown request %T", payload))
+		}
+	}
+}

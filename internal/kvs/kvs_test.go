@@ -1,0 +1,252 @@
+package kvs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memnode"
+	"repro/internal/paging"
+	"repro/internal/rdma"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ctxThread is a minimal workload.Ctx for driving handlers without the
+// scheduler: completions auto-apply, faults block on a private gate.
+type ctxThread struct {
+	env  *sim.Env
+	proc *sim.Proc
+	mgr  *paging.Manager
+	qp   *rdma.QP
+	gate *sim.Gate
+}
+
+func (t *ctxThread) Proc() *sim.Proc    { return t.proc }
+func (t *ctxThread) QP() *rdma.QP       { return t.qp }
+func (t *ctxThread) Rand() *sim.RNG     { return t.env.Rand() }
+func (t *ctxThread) Compute(d sim.Time) { t.proc.Sleep(d) }
+func (t *ctxThread) Probe()             {}
+func (t *ctxThread) CriticalEnter()     {}
+func (t *ctxThread) CriticalExit()      {}
+func (t *ctxThread) Block(enqueue func(wake func())) {
+	done := false
+	enqueue(func() {
+		done = true
+		t.gate.Wake()
+	})
+	for !done {
+		t.gate.Wait(t.proc)
+	}
+}
+
+func (t *ctxThread) WaitPage(s *paging.Space, vpn int64) {
+	for !s.Resident(vpn) {
+		if t.mgr.RequestPage(t, s, vpn, t.gate.Wake, true) {
+			return
+		}
+		t.gate.Wait(t.proc)
+	}
+}
+
+// harness runs fn as a simulated thread over a paging rig sized to
+// localFrac of the store.
+func harness(t *testing.T, cfg Config, localFrac float64, fn func(ctx workload.Ctx, s *Store)) *Store {
+	t.Helper()
+	env := sim.NewEnv(7)
+	node := memnode.New(4 << 30)
+	// Build the store against a provisional manager to learn its size.
+	probe := paging.NewManager(env, paging.DefaultConfig(paging.PageSize))
+	sized := New(probe, memnode.New(4<<30), cfg)
+	local := int64(localFrac * float64(sized.SpaceSize()))
+	if local < 8*paging.PageSize {
+		local = 8 * paging.PageSize
+	}
+	mgr := paging.NewManager(env, paging.DefaultConfig(local))
+	s := New(mgr, node, cfg)
+	s.WarmCache()
+
+	nic := rdma.NewNIC(env, rdma.DefaultConfig())
+	cq := rdma.NewCQ("t")
+	qp := nic.CreateQP("t", cq)
+	cq.Notify = func() {
+		for _, c := range cq.Poll(64) {
+			mgr.Complete(c.Cookie.(*paging.Fetch))
+		}
+	}
+	rcq := rdma.NewCQ("reclaim")
+	mgr.StartReclaimer(nic.CreateQP("reclaim", rcq), rcq)
+
+	env.Go("driver", func(p *sim.Proc) {
+		ctx := &ctxThread{env: env, proc: p, mgr: mgr, qp: qp, gate: sim.NewGate(env)}
+		fn(ctx, s)
+	})
+	env.Run(sim.Seconds(120))
+	return s
+}
+
+func TestGetReturnsCorrectValues(t *testing.T) {
+	cfg := DefaultConfig(5000, 128)
+	s := harness(t, cfg, 0.2, func(ctx workload.Ctx, s *Store) {
+		h := s.Handler()
+		for key := uint64(0); key < 5000; key += 7 {
+			resp, _ := h(ctx, Get{Key: key})
+			v := resp.(Value)
+			if !v.Found {
+				t.Errorf("key %d not found", key)
+				return
+			}
+			if v.Digest != s.VerifyDigest(key) {
+				t.Errorf("key %d digest mismatch", key)
+				return
+			}
+		}
+	})
+	if s.Mismatches.Value() != 0 || s.Misses.Value() != 0 {
+		t.Fatalf("mismatches=%d misses=%d", s.Mismatches.Value(), s.Misses.Value())
+	}
+}
+
+func TestSetThenGetRoundTrip(t *testing.T) {
+	cfg := DefaultConfig(2000, 128)
+	harness(t, cfg, 0.2, func(ctx workload.Ctx, s *Store) {
+		h := s.Handler()
+		resp, _ := h(ctx, Set{Key: 42, Salt: 0xA7})
+		setV := resp.(Value)
+		if !setV.Found {
+			t.Error("SET of existing key failed")
+			return
+		}
+		resp, _ = h(ctx, Get{Key: 42})
+		getV := resp.(Value)
+		if !getV.Found || getV.Digest != setV.Digest {
+			t.Errorf("GET after SET: %+v vs SET %+v", getV, setV)
+		}
+		if s.Mismatches.Value() != 0 {
+			t.Errorf("mismatches = %d", s.Mismatches.Value())
+		}
+	})
+}
+
+func TestGetsFaultAtLowLocalMemory(t *testing.T) {
+	cfg := DefaultConfig(20000, 128)
+	var faults int64
+	s := harness(t, cfg, 0.2, func(ctx workload.Ctx, s *Store) {
+		h := s.Handler()
+		rng := sim.NewRNG(3)
+		for i := 0; i < 500; i++ {
+			key := uint64(rng.Int63n(20000))
+			resp, _ := h(ctx, Get{Key: key})
+			if !resp.(Value).Found {
+				t.Errorf("key %d missing", key)
+				return
+			}
+		}
+		faults = s.mgr.Faults.Value()
+	})
+	if s.Mismatches.Value() != 0 {
+		t.Fatal("value corruption")
+	}
+	// ~80% of uniform GETs should fault with 20% residency.
+	if faults < 250 {
+		t.Fatalf("faults = %d, want roughly 0.8 per GET", faults)
+	}
+}
+
+func TestNextRequestMixAndSizes(t *testing.T) {
+	cfg := DefaultConfig(1000, 1024)
+	cfg.GetRatio = 0.5
+	env := sim.NewEnv(1)
+	mgr := paging.NewManager(env, paging.DefaultConfig(1<<20))
+	s := New(mgr, memnode.New(4<<30), cfg)
+	rng := sim.NewRNG(5)
+	gets, sets := 0, 0
+	for i := 0; i < 2000; i++ {
+		payload, size := s.NextRequest(rng)
+		switch payload.(type) {
+		case Get:
+			gets++
+			if size != 64+KeySize {
+				t.Fatalf("GET size = %d", size)
+			}
+		case Set:
+			sets++
+			if size != 64+KeySize+1024 {
+				t.Fatalf("SET size = %d", size)
+			}
+		}
+	}
+	if gets < 800 || sets < 800 {
+		t.Fatalf("mix off: gets=%d sets=%d", gets, sets)
+	}
+}
+
+func TestCapacitySizing(t *testing.T) {
+	env := sim.NewEnv(1)
+	mgr := paging.NewManager(env, paging.DefaultConfig(1<<20))
+	s := New(mgr, memnode.New(4<<30), DefaultConfig(1000, 128))
+	if s.capacity&(s.capacity-1) != 0 {
+		t.Fatal("capacity not a power of two")
+	}
+	if float64(1000) > 0.7*float64(s.capacity) {
+		t.Fatal("load factor exceeded")
+	}
+	if s.slotSize != 8+56+8 {
+		t.Fatalf("slot size = %d", s.slotSize)
+	}
+	// Items live out of line: total footprint covers both spaces.
+	if s.SpaceSize() < s.capacity*s.slotSize+1000*128 {
+		t.Fatalf("space size = %d too small", s.SpaceSize())
+	}
+}
+
+func TestKeyBytesInjective(t *testing.T) {
+	// Property: distinct ids produce distinct canonical keys (the first
+	// 8 bytes embed the id), and the encoding is deterministic.
+	check := func(a, b uint64) bool {
+		var ka, kb, ka2 [KeySize]byte
+		keyBytes(a, ka[:])
+		keyBytes(b, kb[:])
+		keyBytes(a, ka2[:])
+		if ka != ka2 {
+			return false
+		}
+		return (a == b) == (ka == kb)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDigestMatchesSaltedContent(t *testing.T) {
+	// Property: the digest computed from generated value bytes equals
+	// the closed-form digest for any (key, salt).
+	check := func(key uint64, salt byte) bool {
+		const n = 256
+		digest := uint64(salt) + 1
+		for i := 0; i < n; i += 64 {
+			digest = digest*0x100000001B3 + uint64(valueByte(key, salt, i))
+		}
+		return digest == valueDigest(key, salt, n)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashSpreadsSlots(t *testing.T) {
+	// Sequential ids must spread across the table, not cluster: count
+	// collisions in the low bits.
+	const keys = 1 << 14
+	seen := make(map[int64]int)
+	maxChain := 0
+	for k := uint64(0); k < keys; k++ {
+		slot := int64(hash(k)) & (keys*2 - 1)
+		seen[slot]++
+		if seen[slot] > maxChain {
+			maxChain = seen[slot]
+		}
+	}
+	if maxChain > 6 {
+		t.Fatalf("hash clusters: %d ids in one slot", maxChain)
+	}
+}

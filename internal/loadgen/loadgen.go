@@ -1,0 +1,115 @@
+// Package loadgen is the open-loop load generator of §4: Poisson
+// arrivals at a configured offered load, kernel-bypass send/receive with
+// hardware timestamps, and end-to-end latency measured as RX − TX at the
+// generator — mutilate-style, as in the paper.
+package loadgen
+
+import (
+	"repro/internal/ethernet"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Gen drives one workload against a compute node and records e2e
+// latency and throughput over a measurement window.
+type Gen struct {
+	env *sim.Env
+	net *ethernet.Net
+	app workload.App
+
+	warmup sim.Time // measurement window start
+	end    sim.Time // last send time
+
+	// E2E records end-to-end latency (cycles) of requests sent within
+	// the measurement window. ByClass, if enabled with Classifier,
+	// records per-request-class latency (e.g., GET vs SCAN).
+	E2E        *stats.Histogram
+	Classifier func(payload any) string
+	ByClass    map[string]*stats.Histogram
+
+	Sent      stats.Counter
+	Delivered stats.Counter // responses received within the window
+
+	// SendFn transmits a request; it defaults to the raw (UDP-style)
+	// path and can be pointed at a transport.Client's Send for reliable
+	// delivery.
+	SendFn func(*ethernet.Packet)
+
+	nextID uint64
+}
+
+// Start launches an open-loop generator sending rateRPS requests per
+// second from time 0 until end. Latency is recorded for requests sent at
+// or after warmup; Delivered counts responses received in [warmup, end].
+func Start(env *sim.Env, net *ethernet.Net, app workload.App, rateRPS float64, warmup, end sim.Time) *Gen {
+	g := &Gen{
+		env: env, net: net, app: app,
+		warmup: warmup, end: end,
+		E2E:     stats.NewHistogram(),
+		ByClass: make(map[string]*stats.Histogram),
+	}
+	net.OnDeliver = g.onDeliver
+	g.SendFn = net.SendToNode
+	interval := sim.Time(float64(sim.CyclesPerSec) / rateRPS)
+	env.Go("loadgen", func(p *sim.Proc) {
+		rng := env.Rand()
+		for {
+			p.Sleep(rng.Exp(interval))
+			if p.Now() >= end {
+				return
+			}
+			payload, reqBytes := app.NextRequest(rng)
+			g.nextID++
+			pkt := &ethernet.Packet{
+				ID:      g.nextID,
+				Payload: payload,
+				Size:    reqBytes,
+				TxTime:  p.Now(),
+			}
+			if g.Classifier != nil {
+				pkt.Class = g.Classifier(payload)
+			}
+			g.Sent.Inc()
+			g.SendFn(pkt)
+		}
+	})
+	return g
+}
+
+// Deliver records a response arrival; exported so a transport layer
+// interposed on the network path can forward acknowledged responses.
+func (g *Gen) Deliver(pkt *ethernet.Packet) { g.onDeliver(pkt) }
+
+func (g *Gen) onDeliver(pkt *ethernet.Packet) {
+	if pkt.RxTime >= g.warmup && pkt.RxTime < g.end {
+		g.Delivered.Inc()
+	}
+	if pkt.TxTime < g.warmup {
+		return
+	}
+	lat := int64(pkt.RxTime - pkt.TxTime)
+	g.E2E.Record(lat)
+	if pkt.Class != "" {
+		h := g.ByClass[pkt.Class]
+		if h == nil {
+			h = stats.NewHistogram()
+			g.ByClass[pkt.Class] = h
+		}
+		h.Record(lat)
+	}
+}
+
+// Throughput returns achieved requests/second over the measurement
+// window, evaluated at time now (normally the end of the run).
+func (g *Gen) Throughput(now sim.Time) float64 {
+	window := now
+	if window > g.end {
+		window = g.end
+	}
+	window -= g.warmup
+	if window <= 0 {
+		return 0
+	}
+	return float64(g.Delivered.Value()) / window.Seconds()
+}

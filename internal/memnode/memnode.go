@@ -1,0 +1,69 @@
+// Package memnode models the passive memory node of the disaggregated
+// system: pre-registered memory regions served entirely by one-sided
+// RDMA, with no CPU involvement in the data path (the design shared by
+// DiLOS, Fastswap, and Adios).
+package memnode
+
+import "fmt"
+
+// Region is a registered remote-memory region. Data is the authoritative
+// backing store for pages that are not resident in the compute node's
+// local cache.
+type Region struct {
+	Name string
+	Data []byte
+}
+
+// Slice returns the byte view [off, off+n) of the region for use as the
+// remote side of an RDMA verb.
+func (r *Region) Slice(off, n int64) []byte {
+	return r.Data[off : off+n]
+}
+
+// Size returns the region length in bytes.
+func (r *Region) Size() int64 { return int64(len(r.Data)) }
+
+// Node is a memory node with a fixed capacity of registerable memory.
+type Node struct {
+	capacity  int64
+	allocated int64
+	regions   map[string]*Region
+}
+
+// New returns a memory node with the given capacity in bytes.
+func New(capacity int64) *Node {
+	return &Node{capacity: capacity, regions: make(map[string]*Region)}
+}
+
+// Alloc registers a new region of the given size. Names must be unique.
+func (n *Node) Alloc(name string, size int64) (*Region, error) {
+	if _, dup := n.regions[name]; dup {
+		return nil, fmt.Errorf("memnode: region %q already exists", name)
+	}
+	if n.allocated+size > n.capacity {
+		return nil, fmt.Errorf("memnode: out of memory: %d requested, %d free",
+			size, n.capacity-n.allocated)
+	}
+	r := &Region{Name: name, Data: make([]byte, size)}
+	n.regions[name] = r
+	n.allocated += size
+	return r, nil
+}
+
+// MustAlloc is Alloc for setup code where failure is a configuration bug.
+func (n *Node) MustAlloc(name string, size int64) *Region {
+	r, err := n.Alloc(name, size)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Region returns the named region, or nil.
+func (n *Node) Region(name string) *Region { return n.regions[name] }
+
+// Allocated returns the number of registered bytes.
+func (n *Node) Allocated() int64 { return n.allocated }
+
+// Capacity returns the node's total capacity in bytes.
+func (n *Node) Capacity() int64 { return n.capacity }

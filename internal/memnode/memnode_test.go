@@ -1,0 +1,48 @@
+package memnode
+
+import "testing"
+
+func TestAllocAndCapacity(t *testing.T) {
+	n := New(1 << 20)
+	r, err := n.Alloc("a", 512<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 512<<10 {
+		t.Fatalf("size = %d", r.Size())
+	}
+	if _, err := n.Alloc("a", 16); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, err := n.Alloc("b", 600<<10); err == nil {
+		t.Fatal("over-capacity alloc accepted")
+	}
+	if _, err := n.Alloc("b", 512<<10); err != nil {
+		t.Fatalf("exact-fit alloc rejected: %v", err)
+	}
+	if n.Allocated() != n.Capacity() {
+		t.Fatalf("allocated = %d, capacity = %d", n.Allocated(), n.Capacity())
+	}
+	if n.Region("a") != r || n.Region("missing") != nil {
+		t.Fatal("region lookup broken")
+	}
+}
+
+func TestSliceViewsBacking(t *testing.T) {
+	n := New(1 << 16)
+	r := n.MustAlloc("r", 8192)
+	s := r.Slice(4096, 16)
+	s[0] = 0xAB
+	if r.Data[4096] != 0xAB {
+		t.Fatal("slice is not a view of the backing store")
+	}
+}
+
+func TestMustAllocPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(16).MustAlloc("big", 1<<20)
+}

@@ -1,0 +1,232 @@
+package paging
+
+// Fetch is the record of an in-flight page movement: a demand fetch, a
+// prefetch, or an eviction write-back. It is the cookie carried by the
+// RDMA completion; the polling thread hands it back to the manager via
+// Complete.
+type Fetch struct {
+	Space *Space
+	VPN   int64
+
+	frame     int32
+	writeback bool
+	demand    bool
+
+	// waiters are invoked (in completion context) once the page becomes
+	// present (fetch) or absent again (write-back finished). The
+	// scheduler registers a closure that marks the blocked unithread
+	// runnable.
+	waiters []func()
+
+	issuedAt int64 // sim time of issue, for fetch-latency accounting
+}
+
+// Writeback reports whether this record is an eviction write-back.
+func (f *Fetch) Writeback() bool { return f.writeback }
+
+// RequestPage drives one step of the fault state machine for (s, vpn)
+// under thread t. It returns true if the page is already resident (the
+// access can proceed). Otherwise it arranges for onReady to be invoked
+// when the page's state changes in the caller's favour and returns false;
+// the caller blocks and then re-invokes RequestPage — transitions like
+// write-back-then-refetch need several rounds.
+//
+// The demand flag marks a real miss (first round of a fault) for
+// accounting.
+func (m *Manager) RequestPage(t Thread, s *Space, vpn int64, onReady func(), demand bool) bool {
+	e := &s.ptes[vpn]
+	switch e.state {
+	case pagePresent:
+		m.touch(e)
+		return true
+
+	case pageFetching:
+		// Someone else (or a prefetch) is already fetching this page;
+		// piggyback on their completion.
+		if demand {
+			m.FetchWaits.Inc()
+			if !e.fetch.demand {
+				m.PrefetchHits.Inc()
+			}
+		}
+		e.fetch.waiters = append(e.fetch.waiters, onReady)
+		return false
+
+	case pageWriteback:
+		// The page is being written back; once the write-back completes
+		// the PTE becomes absent and the caller refaults.
+		e.fetch.waiters = append(e.fetch.waiters, onReady)
+		return false
+
+	case pageAbsent:
+		if demand {
+			m.Faults.Inc()
+		}
+		fr := m.allocFrame(t.Proc())
+		// Allocation may have blocked; the page state can have changed
+		// while we waited (another thread may have fetched it).
+		if e.state != pageAbsent {
+			m.freeFrame(fr)
+			return m.RequestPage(t, s, vpn, onReady, false)
+		}
+		f := &Fetch{Space: s, VPN: vpn, frame: fr, demand: demand, issuedAt: int64(m.env.Now())}
+		f.waiters = append(f.waiters, onReady)
+		m.startFetch(t, f)
+		m.fetchSpan(t, s, vpn)
+		switch m.cfg.PrefetchPolicy {
+		case Sequential:
+			m.prefetchAround(t, s, vpn)
+		case Leap:
+			m.leapRecord(s, vpn)
+			m.leapPrefetch(t, s, vpn)
+		}
+		return false
+
+	default:
+		panic("paging: invalid page state")
+	}
+}
+
+// startFetch transitions the PTE to fetching and posts the RDMA READ. If
+// the QP is saturated the calling thread waits for a slot — the stall the
+// paper observes when the NIC cannot match host processing (§5.2).
+func (m *Manager) startFetch(t Thread, f *Fetch) {
+	s, vpn := f.Space, f.VPN
+	e := &s.ptes[vpn]
+	e.state = pageFetching
+	e.fetch = f
+	fr := &m.frames[f.frame]
+	fr.space, fr.vpn, fr.state = s.id, vpn, frameFilling
+
+	qp := t.QP()
+	for {
+		err := qp.PostRead(fr.data, s.region.Slice(vpn*PageSize, PageSize), f)
+		if err == nil {
+			return
+		}
+		qp.WaitSlot(t.Proc())
+	}
+}
+
+// issueAsync starts a non-blocking fetch of an absent page (prefetch or
+// span fill). It is skipped — returning false — when frames or QP slots
+// are scarce, so background fetches never induce reclaim pressure or
+// stall the faulting thread.
+func (m *Manager) issueAsync(t Thread, s *Space, vpn int64) bool {
+	if vpn >= s.Pages() || s.ptes[vpn].state != pageAbsent {
+		return true // nothing to do; not a resource failure
+	}
+	if t.QP().Full() {
+		return false
+	}
+	fr, ok := m.tryAllocFrame()
+	if !ok {
+		return false
+	}
+	f := &Fetch{Space: s, VPN: vpn, frame: fr, issuedAt: int64(m.env.Now())}
+	e := &s.ptes[vpn]
+	e.state = pageFetching
+	e.fetch = f
+	frm := &m.frames[fr]
+	frm.space, frm.vpn, frm.state = s.id, vpn, frameFilling
+	if err := t.QP().PostRead(frm.data, s.region.Slice(vpn*PageSize, PageSize), f); err != nil {
+		// QP filled up between the check and the post; undo.
+		e.state, e.fetch = pageAbsent, nil
+		m.freeFrame(fr)
+		return false
+	}
+	return true
+}
+
+// fetchSpan fills the rest of a demand fault's aligned span when the
+// fetch granularity (Config.FetchAlign) exceeds one page — the
+// huge-page-granularity memory-node model and its I/O amplification.
+func (m *Manager) fetchSpan(t Thread, s *Space, vpn int64) {
+	align := int64(m.cfg.FetchAlign)
+	if align <= 1 {
+		return
+	}
+	base := vpn &^ (align - 1)
+	for p := base; p < base+align; p++ {
+		if p == vpn {
+			continue
+		}
+		if !m.issueAsync(t, s, p) {
+			return
+		}
+	}
+}
+
+// PrefetchRange is the application-guided (Canvas-style, two-tier)
+// prefetch interface: the application announces it is about to access
+// [off, off+n) of the space, and the manager fetches the absent pages
+// asynchronously on the thread's QP. Never blocks; stops early when
+// frames or QP slots run short. Returns the number of fetches issued.
+func (m *Manager) PrefetchRange(t Thread, s *Space, off, n int64) int {
+	if n <= 0 {
+		return 0
+	}
+	first := off >> PageShift
+	last := (off + n - 1) >> PageShift
+	issued := 0
+	for vpn := first; vpn <= last && vpn < s.Pages(); vpn++ {
+		if s.ptes[vpn].state != pageAbsent {
+			continue
+		}
+		if !m.issueAsync(t, s, vpn) {
+			break
+		}
+		issued++
+		m.PrefetchIssued.Inc()
+	}
+	return issued
+}
+
+// prefetchAround issues sequential read-ahead after a demand miss,
+// fetching up to cfg.Prefetch following pages that are absent. Prefetches
+// never block: they are skipped when frames or QP slots are scarce.
+func (m *Manager) prefetchAround(t Thread, s *Space, vpn int64) {
+	for i := 1; i <= m.cfg.Prefetch; i++ {
+		if !m.issueAsync(t, s, vpn+int64(i)) {
+			return
+		}
+		m.PrefetchIssued.Inc()
+	}
+}
+
+// Complete finishes an in-flight page movement when its RDMA completion
+// has been polled. For a fetch, the page becomes present (the data copy
+// into the frame was performed by the fabric at completion time). For a
+// write-back, the frame is freed and the page becomes absent. All
+// registered waiters are invoked.
+func (m *Manager) Complete(f *Fetch) {
+	s := f.Space
+	e := &s.ptes[f.VPN]
+	if f.writeback {
+		if e.state != pageWriteback {
+			panic("paging: write-back completion on page not in write-back")
+		}
+		e.state = pageAbsent
+		e.fetch = nil
+		e.dirty = false
+		m.freeFrame(f.frame)
+	} else {
+		if e.state != pageFetching {
+			panic("paging: fetch completion on page not fetching")
+		}
+		e.state = pagePresent
+		e.frame = f.frame
+		e.fetch = nil
+		e.ref = true
+		m.frames[f.frame].state = frameResident
+		m.installed(f.frame)
+	}
+	for _, w := range f.waiters {
+		w()
+	}
+	f.waiters = nil
+}
+
+// FetchLatency returns how long the fetch has been in flight at time
+// now, for breakdown accounting.
+func (f *Fetch) FetchLatency(now int64) int64 { return now - f.issuedAt }

@@ -1,0 +1,65 @@
+package paging
+
+import "fmt"
+
+// CheckInvariants verifies the paging subsystem's structural invariants.
+// Tests call it between operations; it is O(frames + pages).
+//
+// Invariants:
+//  1. Every frame is in exactly one state, and free frames are exactly
+//     the members of the free list.
+//  2. Every resident PTE points at a frame that points back at it.
+//  3. No two PTEs share a frame.
+//  4. Fetching/write-back PTEs carry a fetch record for the right page.
+func (m *Manager) CheckInvariants() error {
+	inFree := make(map[int32]bool, len(m.free))
+	for _, fi := range m.free {
+		if inFree[fi] {
+			return fmt.Errorf("frame %d appears twice in free list", fi)
+		}
+		inFree[fi] = true
+	}
+	owner := make(map[int32][2]int64) // frame -> (space, vpn)
+	for i := range m.frames {
+		f := &m.frames[i]
+		if (f.state == frameFree) != inFree[int32(i)] {
+			return fmt.Errorf("frame %d: state %d vs free-list membership %v", i, f.state, inFree[int32(i)])
+		}
+		if f.state == frameFree && f.space != -1 {
+			return fmt.Errorf("free frame %d still owned by space %d", i, f.space)
+		}
+	}
+	for _, s := range m.spaces {
+		for vpn := range s.ptes {
+			e := &s.ptes[vpn]
+			switch e.state {
+			case pageAbsent:
+				if e.fetch != nil {
+					return fmt.Errorf("%s page %d absent but has fetch record", s.name, vpn)
+				}
+			case pagePresent:
+				f := &m.frames[e.frame]
+				if f.state != frameResident || f.space != s.id || f.vpn != int64(vpn) {
+					return fmt.Errorf("%s page %d: frame %d back-pointer mismatch (%d,%d,%d)",
+						s.name, vpn, e.frame, f.state, f.space, f.vpn)
+				}
+				if prev, dup := owner[e.frame]; dup {
+					return fmt.Errorf("frame %d shared by (%d,%d) and (%d,%d)", e.frame, prev[0], prev[1], s.id, vpn)
+				}
+				owner[e.frame] = [2]int64{int64(s.id), int64(vpn)}
+			case pageFetching, pageWriteback:
+				if e.fetch == nil {
+					return fmt.Errorf("%s page %d in-flight without fetch record", s.name, vpn)
+				}
+				if e.fetch.Space != s || e.fetch.VPN != int64(vpn) {
+					return fmt.Errorf("%s page %d fetch record for wrong page", s.name, vpn)
+				}
+				if prev, dup := owner[e.fetch.frame]; dup {
+					return fmt.Errorf("frame %d shared by (%d,%d) and in-flight (%d,%d)", e.fetch.frame, prev[0], prev[1], s.id, vpn)
+				}
+				owner[e.fetch.frame] = [2]int64{int64(s.id), int64(vpn)}
+			}
+		}
+	}
+	return nil
+}

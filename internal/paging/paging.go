@@ -1,0 +1,293 @@
+// Package paging implements the compute node's paged remote-memory
+// subsystem: a bounded pool of real 4 KiB frames backed by memory-node
+// regions, page tables with fetch/write-back state tracking, CLOCK
+// eviction, a proactive reclaimer (§3.3 of the paper), and optional
+// sequential prefetch.
+//
+// The package provides mechanism only; *policy* — whether a faulting
+// thread busy-waits or yields — lives in the scheduler, which implements
+// the Thread interface. This split mirrors the paper's observation that
+// the fault handler and the scheduler must cooperate closely: here they
+// literally share state, as in a unikernel's single address space.
+package paging
+
+import (
+	"fmt"
+
+	"repro/internal/memnode"
+	"repro/internal/rdma"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// PageSize is the compute-node page size (4 KiB, as in the paper's
+// compute nodes; the memory node's huge pages are a layout detail the
+// model does not need).
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// Thread is the execution context a paged access runs under. The
+// scheduler's unithread implements it; WaitPage embodies the system's
+// wait policy (busy-wait for DiLOS/Hermit, yield for Adios).
+type Thread interface {
+	// Proc returns the simulated process to block and charge time on.
+	Proc() *sim.Proc
+	// QP returns the queue pair page fetches are issued on (the current
+	// worker's QP).
+	QP() *rdma.QP
+	// WaitPage blocks until the given page of the space is resident,
+	// driving the fault through Manager.RequestPage.
+	WaitPage(s *Space, vpn int64)
+}
+
+// Page states.
+const (
+	pageAbsent uint8 = iota
+	pageFetching
+	pagePresent
+	pageWriteback
+)
+
+// Frame states.
+const (
+	frameFree uint8 = iota
+	frameFilling
+	frameResident
+	frameWriteback
+)
+
+// pte is a page-table entry.
+type pte struct {
+	frame int32
+	state uint8
+	dirty bool
+	ref   bool
+	fetch *Fetch // in-flight fetch or write-back record, if any
+}
+
+// frame is a local DRAM cache frame.
+type frame struct {
+	data  []byte
+	space int32 // owning space, -1 if free
+	vpn   int64
+	state uint8
+}
+
+// Config holds the paging cost model and policy knobs.
+type Config struct {
+	// FramePoolBytes is the local DRAM cache size.
+	FramePoolBytes int64
+	// ReclaimThreshold is the free-frame fraction below which the
+	// proactive reclaimer starts evicting (paper default: 15 %).
+	ReclaimThreshold float64
+	// ReclaimBatch is how many pages one reclaim round evicts.
+	ReclaimBatch int
+	// Proactive selects the paper's pinned proactive reclaimer; when
+	// false the reclaimer is only woken once allocation actually stalls
+	// (the DiLOS-style on-demand design, for ablation).
+	Proactive bool
+	// PrefetchPolicy selects the readahead algorithm; Prefetch is the
+	// window depth for the Sequential policy. Setting Prefetch > 0 with
+	// the zero policy implies Sequential (compatibility).
+	PrefetchPolicy PrefetchPolicy
+	Prefetch       int
+
+	// FetchAlign fetches pages in aligned spans of this many pages: a
+	// demand fault brings in every absent page of its span. 1 (default)
+	// is plain 4 KiB demand paging; 512 models a 2 MiB-granularity
+	// memory node — the 512× I/O amplification the paper's Silo
+	// experiment calls out (§5.2). The faulting thread waits only for
+	// its own page; span-mates fill asynchronously.
+	FetchAlign int
+
+	// Policy selects the eviction algorithm.
+	Policy EvictPolicy
+
+	// FaultEntryCost is the CPU cost of taking the fault and locating the
+	// page (the unikernel's single-lookup handler).
+	FaultEntryCost sim.Time
+	// MapCost is the CPU cost of installing the fetched page and
+	// returning to the faulting context.
+	MapCost sim.Time
+	// ReclaimPageCost is the reclaimer CPU cost per evicted page.
+	ReclaimPageCost sim.Time
+}
+
+// DefaultConfig returns the calibrated paging model with the given local
+// cache size.
+func DefaultConfig(framePoolBytes int64) Config {
+	return Config{
+		FramePoolBytes:   framePoolBytes,
+		ReclaimThreshold: 0.15,
+		ReclaimBatch:     64,
+		Proactive:        true,
+		Prefetch:         0,
+		FetchAlign:       1,
+		Policy:           CLOCK,
+		FaultEntryCost:   300,
+		MapCost:          200,
+		ReclaimPageCost:  250,
+	}
+}
+
+// Manager owns the frame pool, the spaces, and the reclaimer.
+type Manager struct {
+	env *sim.Env
+	cfg Config
+
+	arena  []byte
+	frames []frame
+	free   []int32
+	spaces []*Space
+
+	clockHand int
+	lruPrev   []int32
+	lruNext   []int32
+	lruHead   int32
+	lruTail   int32
+
+	frameWaiters []*sim.Proc
+	reclaimGate  *sim.Gate
+
+	// Counters for experiments and tests.
+	Faults          stats.Counter // demand faults (misses)
+	Hits            stats.Counter // resident accesses
+	FetchWaits      stats.Counter // threads that waited on an existing fetch
+	Evictions       stats.Counter
+	DirtyWritebacks stats.Counter
+	PrefetchIssued  stats.Counter
+	PrefetchHits    stats.Counter // demand accesses absorbed by a prefetched page
+	AllocStalls     stats.Counter // allocations that blocked on an empty pool
+}
+
+// NewManager returns a manager with a frame pool of cfg.FramePoolBytes.
+func NewManager(env *sim.Env, cfg Config) *Manager {
+	n := cfg.FramePoolBytes / PageSize
+	if n < 1 {
+		panic("paging: frame pool smaller than one page")
+	}
+	m := &Manager{
+		env:         env,
+		cfg:         cfg,
+		arena:       make([]byte, n*PageSize),
+		frames:      make([]frame, n),
+		free:        make([]int32, 0, n),
+		reclaimGate: sim.NewGate(env),
+	}
+	for i := int64(0); i < n; i++ {
+		m.frames[i] = frame{data: m.arena[i*PageSize : (i+1)*PageSize], space: -1}
+		m.free = append(m.free, int32(i))
+	}
+	if m.cfg.FetchAlign < 1 {
+		m.cfg.FetchAlign = 1
+	}
+	if m.cfg.PrefetchPolicy == NoPrefetch && m.cfg.Prefetch > 0 {
+		m.cfg.PrefetchPolicy = Sequential
+	}
+	m.lruInit()
+	return m
+}
+
+// Config returns the paging configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// TotalFrames returns the frame pool size in pages.
+func (m *Manager) TotalFrames() int { return len(m.frames) }
+
+// FreeFrames returns the current number of free frames.
+func (m *Manager) FreeFrames() int { return len(m.free) }
+
+// Space is a paged view over a memory-node region. All data an
+// application stores in a Space physically lives in the region's backing
+// bytes except while cached in a local frame.
+type Space struct {
+	mgr    *Manager
+	id     int32
+	name   string
+	region *memnode.Region
+	ptes   []pte
+	leap   leapState
+}
+
+// NewSpace creates a paged space over region. The region size must be
+// page-aligned.
+func (m *Manager) NewSpace(name string, region *memnode.Region) *Space {
+	if region.Size()%PageSize != 0 {
+		panic(fmt.Sprintf("paging: region %q size %d not page-aligned", name, region.Size()))
+	}
+	s := &Space{
+		mgr:    m,
+		id:     int32(len(m.spaces)),
+		name:   name,
+		region: region,
+		ptes:   make([]pte, region.Size()/PageSize),
+	}
+	m.spaces = append(m.spaces, s)
+	return s
+}
+
+// Name returns the space's name.
+func (s *Space) Name() string { return s.name }
+
+// Size returns the space size in bytes.
+func (s *Space) Size() int64 { return s.region.Size() }
+
+// Pages returns the number of pages in the space.
+func (s *Space) Pages() int64 { return int64(len(s.ptes)) }
+
+// Resident reports whether the page is present in the local cache.
+func (s *Space) Resident(vpn int64) bool { return s.ptes[vpn].state == pagePresent }
+
+// ResidentCount returns the number of resident pages (O(pages); tests
+// and gauges only).
+func (s *Space) ResidentCount() int {
+	n := 0
+	for i := range s.ptes {
+		if s.ptes[i].state == pagePresent {
+			n++
+		}
+	}
+	return n
+}
+
+// allocFrame removes a free frame, blocking p until one is available.
+// It wakes the reclaimer proactively when the pool runs low.
+func (m *Manager) allocFrame(p *sim.Proc) int32 {
+	for len(m.free) == 0 {
+		m.AllocStalls.Inc()
+		m.reclaimGate.Wake()
+		m.frameWaiters = append(m.frameWaiters, p)
+		p.Park()
+	}
+	idx := m.free[len(m.free)-1]
+	m.free = m.free[:len(m.free)-1]
+	if m.cfg.Proactive && float64(len(m.free)) < m.cfg.ReclaimThreshold*float64(len(m.frames)) {
+		m.reclaimGate.Wake()
+	}
+	return idx
+}
+
+// tryAllocFrame returns a free frame only if the pool is comfortably
+// above the reclaim threshold; prefetch uses it so read-ahead never
+// induces reclaim pressure.
+func (m *Manager) tryAllocFrame() (int32, bool) {
+	if float64(len(m.free)) <= m.cfg.ReclaimThreshold*float64(len(m.frames)) {
+		return 0, false
+	}
+	idx := m.free[len(m.free)-1]
+	m.free = m.free[:len(m.free)-1]
+	return idx, true
+}
+
+// freeFrame returns a frame to the pool and unblocks allocation waiters.
+func (m *Manager) freeFrame(idx int32) {
+	f := &m.frames[idx]
+	f.space, f.vpn, f.state = -1, 0, frameFree
+	m.free = append(m.free, idx)
+	for _, w := range m.frameWaiters {
+		m.env.ScheduleResume(w, m.env.Now())
+	}
+	m.frameWaiters = m.frameWaiters[:0]
+}

@@ -1,0 +1,112 @@
+package paging
+
+import (
+	"repro/internal/rdma"
+	"repro/internal/sim"
+)
+
+// StartReclaimer launches the page reclaimer as a pinned simulated
+// thread. With cfg.Proactive (the Adios design) it wakes whenever the
+// free-frame pool drops below the threshold and evicts ahead of demand;
+// otherwise (the conventional design) it only runs once allocations
+// actually stall. Dirty pages are written back to the memory node over
+// the given QP; the reclaimer polls cq for its own write completions.
+func (m *Manager) StartReclaimer(qp *rdma.QP, cq *rdma.CQ) *sim.Proc {
+	cqGate := sim.NewGate(m.env)
+	cq.Notify = cqGate.Wake
+	return m.env.Go("reclaimer", func(p *sim.Proc) {
+		for {
+			m.reclaimGate.Wait(p)
+			for m.needReclaim() {
+				m.reclaimBatch(p, qp, cq, cqGate)
+			}
+		}
+	})
+}
+
+// needReclaim reports whether another eviction round is required.
+func (m *Manager) needReclaim() bool {
+	if len(m.frameWaiters) > 0 {
+		return true
+	}
+	if !m.cfg.Proactive {
+		return false
+	}
+	return float64(len(m.free)) < m.cfg.ReclaimThreshold*float64(len(m.frames))
+}
+
+// reclaimBatch evicts up to cfg.ReclaimBatch resident pages chosen by the
+// CLOCK algorithm, writing dirty ones back and waiting for those writes.
+func (m *Manager) reclaimBatch(p *sim.Proc, qp *rdma.QP, cq *rdma.CQ, cqGate *sim.Gate) {
+	victims := m.selectVictims(m.cfg.ReclaimBatch)
+	if len(victims) == 0 {
+		// Nothing evictable right now (everything in flight or free).
+		// Yield a little CPU time and retry; spinning at zero cost would
+		// wedge the simulated clock.
+		p.Sleep(m.cfg.ReclaimPageCost)
+		return
+	}
+	inflight := 0
+	for _, fi := range victims {
+		p.Sleep(m.cfg.ReclaimPageCost)
+		f := &m.frames[fi]
+		s := m.spaces[f.space]
+		e := &s.ptes[f.vpn]
+		m.Evictions.Inc()
+		m.unmapped(fi)
+		if e.dirty {
+			rec := &Fetch{Space: s, VPN: f.vpn, frame: fi, writeback: true, issuedAt: int64(m.env.Now())}
+			e.state = pageWriteback
+			e.fetch = rec
+			f.state = frameWriteback
+			m.DirtyWritebacks.Inc()
+			for {
+				if err := qp.PostWrite(s.region.Slice(f.vpn*PageSize, PageSize), f.data, rec); err == nil {
+					break
+				}
+				qp.WaitSlot(p)
+			}
+			inflight++
+		} else {
+			e.state = pageAbsent
+			e.fetch = nil
+			m.freeFrame(fi)
+		}
+	}
+	for inflight > 0 {
+		cs := cq.Poll(64)
+		if len(cs) == 0 {
+			cqGate.Wait(p)
+			continue
+		}
+		for _, c := range cs {
+			m.Complete(c.Cookie.(*Fetch))
+			inflight--
+		}
+	}
+}
+
+// clockSelect runs the CLOCK hand over the frame table, clearing
+// reference bits and collecting up to max resident, unreferenced victim
+// frames. At most two full sweeps are made.
+func (m *Manager) clockSelect(max int) []int32 {
+	var out []int32
+	picked := make(map[int32]bool, max)
+	n := len(m.frames)
+	for scanned := 0; scanned < 2*n && len(out) < max; scanned++ {
+		i := int32(m.clockHand)
+		m.clockHand = (m.clockHand + 1) % n
+		f := &m.frames[i]
+		if f.state != frameResident || picked[i] {
+			continue
+		}
+		e := &m.spaces[f.space].ptes[f.vpn]
+		if e.ref {
+			e.ref = false
+			continue
+		}
+		picked[i] = true
+		out = append(out, i)
+	}
+	return out
+}

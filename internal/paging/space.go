@@ -1,0 +1,168 @@
+package paging
+
+import "encoding/binary"
+
+// ensure makes the page containing off resident under thread t, blocking
+// (per the thread's wait policy) as needed, and returns the frame bytes
+// for that page.
+func (s *Space) ensure(t Thread, vpn int64) []byte {
+	e := &s.ptes[vpn]
+	if e.state == pagePresent {
+		s.mgr.touch(e)
+		s.mgr.leapRecord(s, vpn)
+		s.mgr.Hits.Inc()
+		return s.mgr.frames[e.frame].data
+	}
+	// Loop: under memory pressure the reclaimer can evict the page again
+	// during the handler's post-fetch map step, in which case the access
+	// simply refaults — as on real hardware.
+	for e.state != pagePresent {
+		t.WaitPage(s, vpn)
+	}
+	s.mgr.touch(e)
+	return s.mgr.frames[e.frame].data
+}
+
+// Load copies len(buf) bytes at offset off into buf, faulting pages in as
+// needed. Accesses may span page boundaries.
+func (s *Space) Load(t Thread, off int64, buf []byte) {
+	for len(buf) > 0 {
+		vpn := off >> PageShift
+		po := off & (PageSize - 1)
+		n := PageSize - po
+		if int64(len(buf)) < n {
+			n = int64(len(buf))
+		}
+		page := s.ensure(t, vpn)
+		copy(buf[:n], page[po:po+n])
+		buf = buf[n:]
+		off += n
+	}
+}
+
+// Store copies data into the space at offset off, faulting pages in as
+// needed and marking them dirty (write-allocate, write-back).
+func (s *Space) Store(t Thread, off int64, data []byte) {
+	for len(data) > 0 {
+		vpn := off >> PageShift
+		po := off & (PageSize - 1)
+		n := PageSize - po
+		if int64(len(data)) < n {
+			n = int64(len(data))
+		}
+		page := s.ensure(t, vpn)
+		copy(page[po:po+n], data[:n])
+		s.ptes[vpn].dirty = true
+		data = data[n:]
+		off += n
+	}
+}
+
+// LoadU64 reads a little-endian uint64 at off.
+func (s *Space) LoadU64(t Thread, off int64) uint64 {
+	if off&(PageSize-1) <= PageSize-8 {
+		vpn := off >> PageShift
+		page := s.ensure(t, vpn)
+		po := off & (PageSize - 1)
+		return binary.LittleEndian.Uint64(page[po : po+8])
+	}
+	var b [8]byte
+	s.Load(t, off, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// StoreU64 writes a little-endian uint64 at off.
+func (s *Space) StoreU64(t Thread, off int64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	s.Store(t, off, b[:])
+}
+
+// LoadU32 reads a little-endian uint32 at off.
+func (s *Space) LoadU32(t Thread, off int64) uint32 {
+	if off&(PageSize-1) <= PageSize-4 {
+		vpn := off >> PageShift
+		page := s.ensure(t, vpn)
+		po := off & (PageSize - 1)
+		return binary.LittleEndian.Uint32(page[po : po+4])
+	}
+	var b [4]byte
+	s.Load(t, off, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// StoreU32 writes a little-endian uint32 at off.
+func (s *Space) StoreU32(t Thread, off int64, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	s.Store(t, off, b[:])
+}
+
+// Preload makes the byte range [off, off+n) resident without going
+// through a thread's wait policy or the RDMA fabric; it is a setup-time
+// facility for loading phases that the paper performs before measurement
+// (database load, cache warm-up). It must not be called while the
+// simulation is serving requests. Preloaded pages are clean.
+func (s *Space) Preload(off, n int64) {
+	first := off >> PageShift
+	last := (off + n - 1) >> PageShift
+	for vpn := first; vpn <= last; vpn++ {
+		e := &s.ptes[vpn]
+		if e.state == pagePresent {
+			continue
+		}
+		if e.state != pageAbsent {
+			panic("paging: Preload on page with in-flight I/O")
+		}
+		if len(s.mgr.free) == 0 {
+			return // pool exhausted: remaining pages stay remote
+		}
+		fr := s.mgr.free[len(s.mgr.free)-1]
+		s.mgr.free = s.mgr.free[:len(s.mgr.free)-1]
+		f := &s.mgr.frames[fr]
+		f.space, f.vpn, f.state = s.id, vpn, frameResident
+		copy(f.data, s.region.Slice(vpn*PageSize, PageSize))
+		e.state, e.frame, e.ref = pagePresent, fr, true
+		s.mgr.installed(fr)
+	}
+}
+
+// WriteDirect stores bytes straight into the backing region, bypassing
+// paging and timing. Setup-time only (dataset population). It panics if
+// the touched pages are resident (the cache would go stale).
+func (s *Space) WriteDirect(off int64, data []byte) {
+	first := off >> PageShift
+	last := (off + int64(len(data)) - 1) >> PageShift
+	for vpn := first; vpn <= last; vpn++ {
+		if s.ptes[vpn].state != pageAbsent {
+			panic("paging: WriteDirect would bypass a cached page")
+		}
+	}
+	copy(s.region.Slice(off, int64(len(data))), data)
+}
+
+// ReadDirect loads bytes straight from wherever they currently live
+// (frame if resident, backing region otherwise), bypassing timing.
+// Verification/test use only.
+func (s *Space) ReadDirect(off int64, buf []byte) {
+	for len(buf) > 0 {
+		vpn := off >> PageShift
+		po := off & (PageSize - 1)
+		n := PageSize - po
+		if int64(len(buf)) < n {
+			n = int64(len(buf))
+		}
+		e := &s.ptes[vpn]
+		if e.state == pagePresent || (e.state == pageWriteback) {
+			fr := e.frame
+			if e.state == pageWriteback {
+				fr = e.fetch.frame
+			}
+			copy(buf[:n], s.mgr.frames[fr].data[po:po+n])
+		} else {
+			copy(buf[:n], s.region.Slice(off, n))
+		}
+		buf = buf[n:]
+		off += n
+	}
+}

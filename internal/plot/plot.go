@@ -1,0 +1,164 @@
+// Package plot renders terminal (ASCII) charts of experiment sweeps so
+// figure shapes — knees, crossovers, saturation cliffs — can be eyeballed
+// straight from adios-bench output without external tooling.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// XY is one data point.
+type XY struct {
+	X, Y float64
+}
+
+// Options controls the rendering.
+type Options struct {
+	Width  int  // plot area columns (default 64)
+	Height int  // plot area rows (default 16)
+	LogY   bool // logarithmic Y axis (latency curves)
+	XLabel string
+	YLabel string
+}
+
+// seriesMarks assigns one rune per series, in sorted name order.
+var seriesMarks = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the series into w. Series are labeled in the legend with
+// their marker rune; axes are annotated with min/max.
+func Render(w io.Writer, title string, series map[string][]XY, opt Options) {
+	if opt.Width <= 0 {
+		opt.Width = 64
+	}
+	if opt.Height <= 0 {
+		opt.Height = 16
+	}
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	total := 0
+	for _, name := range names {
+		for _, p := range series[name] {
+			if opt.LogY && p.Y <= 0 {
+				continue
+			}
+			total++
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	fmt.Fprintf(w, "\n%s\n", title)
+	if total == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY * 1.01
+		if maxY == minY {
+			maxY = minY + 1
+		}
+	}
+	yOf := func(v float64) float64 {
+		if opt.LogY {
+			return (math.Log10(v) - math.Log10(minY)) / (math.Log10(maxY) - math.Log10(minY))
+		}
+		return (v - minY) / (maxY - minY)
+	}
+
+	grid := make([][]rune, opt.Height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", opt.Width))
+	}
+	for si, name := range names {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for _, p := range series[name] {
+			if opt.LogY && p.Y <= 0 {
+				continue
+			}
+			cx := int((p.X - minX) / (maxX - minX) * float64(opt.Width-1))
+			cy := int(yOf(p.Y) * float64(opt.Height-1))
+			row := opt.Height - 1 - cy
+			if row < 0 {
+				row = 0
+			}
+			if row >= opt.Height {
+				row = opt.Height - 1
+			}
+			if cx < 0 {
+				cx = 0
+			}
+			if cx >= opt.Width {
+				cx = opt.Width - 1
+			}
+			grid[row][cx] = mark
+		}
+	}
+
+	yTop, yBot := fmtNum(maxY), fmtNum(minY)
+	labelW := len(yTop)
+	if len(yBot) > labelW {
+		labelW = len(yBot)
+	}
+	for r := 0; r < opt.Height; r++ {
+		label := strings.Repeat(" ", labelW)
+		if r == 0 {
+			label = pad(yTop, labelW)
+		}
+		if r == opt.Height-1 {
+			label = pad(yBot, labelW)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", opt.Width))
+	xAxis := fmt.Sprintf("%s%s", pad(fmtNum(minX), labelW+2), fmtNum(maxX))
+	gap := opt.Width + labelW + 2 - len(xAxis)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(w, "%s%s%s", pad(fmtNum(minX), labelW+2), strings.Repeat(" ", gap), fmtNum(maxX))
+	if opt.XLabel != "" || opt.YLabel != "" {
+		fmt.Fprintf(w, "   (x: %s, y: %s", opt.XLabel, opt.YLabel)
+		if opt.LogY {
+			fmt.Fprint(w, ", log scale")
+		}
+		fmt.Fprint(w, ")")
+	}
+	fmt.Fprintln(w)
+	for si, name := range names {
+		fmt.Fprintf(w, "  %c %s\n", seriesMarks[si%len(seriesMarks)], name)
+	}
+}
+
+func fmtNum(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	case av >= 10 || av == 0 || av == math.Trunc(av):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}

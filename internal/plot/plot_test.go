@@ -1,0 +1,61 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicShape(t *testing.T) {
+	var sb strings.Builder
+	series := map[string][]XY{
+		"Adios": {{X: 100, Y: 6}, {X: 1000, Y: 7}, {X: 2500, Y: 30}},
+		"DiLOS": {{X: 100, Y: 6}, {X: 1000, Y: 12}, {X: 1450, Y: 5600}},
+	}
+	Render(&sb, "P99.9 vs throughput", series, Options{LogY: true, XLabel: "KRPS", YLabel: "us"})
+	out := sb.String()
+	for _, want := range []string{"P99.9 vs throughput", "* Adios", "o DiLOS", "log scale", "5.6K"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The Adios marker must appear above (later rows) than DiLOS's tail
+	// point, i.e. both markers exist.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("markers missing")
+	}
+}
+
+func TestRenderEmptyAndDegenerate(t *testing.T) {
+	var sb strings.Builder
+	Render(&sb, "empty", map[string][]XY{}, Options{})
+	if !strings.Contains(sb.String(), "(no data)") {
+		t.Fatal("empty series not handled")
+	}
+	sb.Reset()
+	// Single point, zero ranges.
+	Render(&sb, "single", map[string][]XY{"a": {{X: 5, Y: 5}}}, Options{})
+	if !strings.Contains(sb.String(), "* ") && !strings.Contains(sb.String(), "*\n") {
+		t.Log(sb.String())
+	}
+	sb.Reset()
+	// LogY with non-positive values: filtered, not crashed.
+	Render(&sb, "logy", map[string][]XY{"a": {{X: 1, Y: 0}, {X: 2, Y: 10}}}, Options{LogY: true})
+	if !strings.Contains(sb.String(), "logy") {
+		t.Fatal("logY render failed")
+	}
+}
+
+func TestNumberFormatting(t *testing.T) {
+	cases := map[float64]string{
+		2500000: "2.5M",
+		1450:    "1.4K",
+		42:      "42",
+		5.61:    "5.61",
+		0:       "0",
+	}
+	for v, want := range cases {
+		if got := fmtNum(v); got != want {
+			t.Errorf("fmtNum(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+// Package rdma models the one-sided RDMA fabric between the compute node
+// and the memory node at the queue-pair level: per-QP ordered execution,
+// bounded QP depth, a shared full-duplex 100 GbE link with serialization
+// delay, and completion queues with optional redirection (the primitive
+// behind Adios's polling delegation, §3.4 of the paper).
+//
+// Verbs move real bytes: a READ copies from the remote region into the
+// caller's buffer at completion time; a WRITE copies the caller's buffer
+// into the remote region. As with real ibverbs, buffers must remain
+// stable until the completion is delivered.
+package rdma
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// ErrQPFull is returned by Post* when the QP already has QPDepth
+// outstanding work requests. The paper observes this regime in the
+// Memcached experiment: when QPs saturate, page-fault handlers must
+// pause until a slot frees (§5.2).
+var ErrQPFull = errors.New("rdma: send queue full")
+
+// Config holds the fabric cost model. Defaults (DefaultConfig) are
+// calibrated so an unloaded 4 KiB READ completes in ≈2.4 µs, inside the
+// 2–3 µs the paper reports for 100 GbE ConnectX-6 NICs.
+type Config struct {
+	// CyclesPerByte is the serialization delay of the shared link in CPU
+	// cycles per wire byte. 100 Gb/s at 2 GHz is 0.16 cy/B; the default
+	// uses an effective rate that accounts for protocol framing below the
+	// per-message WireOverhead (flow control, acks).
+	CyclesPerByte float64
+
+	// WireOverhead is the per-message header overhead in bytes (RoCE MTU
+	// segmentation headers, ICRC, acks).
+	WireOverhead int
+
+	// ReqFlight is the fixed latency from posting a work request until the
+	// memory node NIC starts serving it: doorbell, PCIe, NIC processing,
+	// and wire propagation.
+	ReqFlight sim.Time
+
+	// RespFlight is the fixed latency from the last response byte leaving
+	// the memory node until the completion entry is visible in the CQ.
+	RespFlight sim.Time
+
+	// QPDepth bounds outstanding work requests per QP.
+	QPDepth int
+
+	// PostCost and PollCost are the CPU costs of posting a WR and of one
+	// CQ poll; they are charged by the calling thread, not the NIC.
+	PostCost sim.Time
+	PollCost sim.Time
+}
+
+// DefaultConfig returns the calibrated 100 GbE fabric model.
+func DefaultConfig() Config {
+	return Config{
+		CyclesPerByte: 0.22, // ~73 Gb/s effective data rate at 2 GHz
+		WireOverhead:  240,  // 4 MTU segments/page × ~60 B headers
+		ReqFlight:     sim.Micros(0.95),
+		RespFlight:    sim.Micros(0.85),
+		QPDepth:       128,
+		PostCost:      120,
+		PollCost:      80,
+	}
+}
+
+// OpKind distinguishes one-sided verbs.
+type OpKind int
+
+const (
+	// OpRead is a one-sided RDMA READ (remote → local).
+	OpRead OpKind = iota
+	// OpWrite is a one-sided RDMA WRITE (local → remote).
+	OpWrite
+)
+
+func (k OpKind) String() string {
+	if k == OpRead {
+		return "READ"
+	}
+	return "WRITE"
+}
+
+// Completion is a CQ entry.
+type Completion struct {
+	Kind   OpKind
+	Bytes  int
+	Cookie any      // caller context, e.g. the faulting unithread
+	QP     *QP      // queue pair the work request was posted on
+	At     sim.Time // completion delivery time
+}
+
+// CQ is a completion queue. Completions from any number of QPs can be
+// steered to one CQ; redirecting a QP's completions to another thread's
+// CQ is exactly the paper's polling-delegation mechanism.
+type CQ struct {
+	name    string
+	entries []Completion
+	head    int
+
+	// Notify, if set, is invoked (in event context) whenever a completion
+	// arrives. Schedulers use it to wake the polling thread's gate.
+	Notify func()
+}
+
+// NewCQ returns an empty completion queue.
+func NewCQ(name string) *CQ { return &CQ{name: name} }
+
+// Len reports the number of undelivered completions.
+func (cq *CQ) Len() int { return len(cq.entries) - cq.head }
+
+// Poll removes and returns up to max completions without blocking. The
+// caller is responsible for charging Config.PollCost of CPU time.
+func (cq *CQ) Poll(max int) []Completion {
+	n := cq.Len()
+	if n == 0 {
+		return nil
+	}
+	if n > max {
+		n = max
+	}
+	// Copy out: callers may block (charging poll CPU) before consuming,
+	// and new completions must not clobber what they were handed.
+	out := make([]Completion, n)
+	copy(out, cq.entries[cq.head:cq.head+n])
+	cq.head += n
+	if cq.head == len(cq.entries) {
+		cq.entries = cq.entries[:0]
+		cq.head = 0
+	}
+	return out
+}
+
+// Inject delivers an externally produced completion into the CQ. The raw
+// Ethernet path uses it so TX completions share the RDMA CQ machinery,
+// as in the paper's implementation (§4).
+func (cq *CQ) Inject(c Completion) { cq.push(c) }
+
+func (cq *CQ) push(c Completion) {
+	cq.entries = append(cq.entries, c)
+	if cq.Notify != nil {
+		cq.Notify()
+	}
+}
+
+// NIC models the compute node's RDMA-capable NIC and the link to the
+// memory node. The link is full duplex: READ data serializes on the
+// inbound (memory→compute) direction, WRITE data on the outbound.
+type NIC struct {
+	env *sim.Env
+	cfg Config
+
+	inFreeAt  sim.Time // inbound link busy horizon
+	outFreeAt sim.Time // outbound link busy horizon
+
+	inBusy  stats.WindowedBusy
+	outBusy stats.WindowedBusy
+
+	Reads      stats.Counter
+	Writes     stats.Counter
+	ReadBytes  stats.Counter
+	WriteBytes stats.Counter
+
+	srv    *server // non-nil when two-sided serving is enabled
+	nextQP int
+}
+
+// NewNIC returns a NIC bound to env with the given cost model.
+func NewNIC(env *sim.Env, cfg Config) *NIC {
+	return &NIC{env: env, cfg: cfg}
+}
+
+// Config returns the NIC's cost model.
+func (n *NIC) Config() Config { return n.cfg }
+
+// StartWindow begins the utilization measurement window (end of warm-up).
+func (n *NIC) StartWindow() {
+	now := int64(n.env.Now())
+	n.inBusy.StartWindow(now)
+	n.outBusy.StartWindow(now)
+}
+
+// InUtilization returns the inbound (READ data) link utilization over the
+// current measurement window. This is the direction the paper plots in
+// Figures 2(e) and 7(e).
+func (n *NIC) InUtilization() float64 { return n.inBusy.Utilization(int64(n.env.Now())) }
+
+// OutUtilization returns the outbound (WRITE data) link utilization.
+func (n *NIC) OutUtilization() float64 { return n.outBusy.Utilization(int64(n.env.Now())) }
+
+// QP is a reliable-connected queue pair. Work requests on one QP execute
+// in order (the per-QP head-of-line behaviour that motivates PF-aware
+// dispatching); different QPs proceed in parallel subject only to the
+// shared link.
+type QP struct {
+	nic  *NIC
+	id   int
+	cq   *CQ
+	name string
+
+	freeAt      sim.Time // per-QP ordered-execution horizon
+	outstanding int
+
+	// fullWaiters are processes blocked in WaitSlot for a free WR slot.
+	fullWaiters []*sim.Proc
+	env         *sim.Env
+}
+
+// CreateQP creates a queue pair whose completions are delivered to cq.
+func (n *NIC) CreateQP(name string, cq *CQ) *QP {
+	n.nextQP++
+	return &QP{nic: n, id: n.nextQP, cq: cq, name: name, env: n.env}
+}
+
+// Outstanding reports the number of in-flight work requests. The MD
+// scheduler reads this directly for PF-aware dispatching — possible
+// because scheduler and driver share one address space in Adios (§3.4).
+func (qp *QP) Outstanding() int { return qp.outstanding }
+
+// Name returns the QP's debug name.
+func (qp *QP) Name() string { return qp.name }
+
+// Full reports whether the QP is at depth.
+func (qp *QP) Full() bool { return qp.outstanding >= qp.nic.cfg.QPDepth }
+
+// WaitSlot blocks p until the QP has a free work-request slot. Used by
+// the fault handler when the QP saturates.
+func (qp *QP) WaitSlot(p *sim.Proc) {
+	for qp.Full() {
+		qp.fullWaiters = append(qp.fullWaiters, p)
+		p.Park()
+	}
+}
+
+// PostRead posts a one-sided READ of len(dst) bytes from src (a view of
+// a registered remote region) into dst. The cookie is returned in the
+// completion. The data copy happens at completion time; dst must remain
+// stable until then.
+func (qp *QP) PostRead(dst, src []byte, cookie any) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("rdma: read length mismatch: dst %d, src %d", len(dst), len(src))
+	}
+	if qp.Full() {
+		return ErrQPFull
+	}
+	qp.outstanding++
+	n := len(dst)
+	cfg := &qp.nic.cfg
+	env := qp.nic.env
+
+	arrive := qp.nic.serve(env.Now()+cfg.ReqFlight, n)
+	start := maxTime(arrive, qp.freeAt, qp.nic.inFreeAt)
+	xfer := sim.Time(float64(n+cfg.WireOverhead) * cfg.CyclesPerByte)
+	done := start + xfer
+	qp.freeAt = done
+	qp.nic.inFreeAt = done
+	qp.nic.inBusy.AddInterval(int64(start), int64(done))
+	qp.nic.Reads.Inc()
+	qp.nic.ReadBytes.Add(int64(n))
+
+	deliver := done + cfg.RespFlight
+	env.At(deliver, func() {
+		copy(dst, src)
+		qp.complete(Completion{Kind: OpRead, Bytes: n, Cookie: cookie, QP: qp, At: deliver})
+	})
+	return nil
+}
+
+// PostWrite posts a one-sided WRITE of len(src) bytes from src into dst
+// (a view of a registered remote region). src must remain stable until
+// completion, matching ibverbs semantics.
+func (qp *QP) PostWrite(dst, src []byte, cookie any) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("rdma: write length mismatch: dst %d, src %d", len(dst), len(src))
+	}
+	if qp.Full() {
+		return ErrQPFull
+	}
+	qp.outstanding++
+	n := len(src)
+	cfg := &qp.nic.cfg
+	env := qp.nic.env
+
+	// WRITE data leaves the compute node immediately after the doorbell.
+	start := maxTime(env.Now()+cfg.ReqFlight/4, qp.freeAt, qp.nic.outFreeAt)
+	xfer := sim.Time(float64(n+cfg.WireOverhead) * cfg.CyclesPerByte)
+	done := start + xfer
+	qp.freeAt = done
+	qp.nic.outFreeAt = done
+	qp.nic.outBusy.AddInterval(int64(start), int64(done))
+	qp.nic.Writes.Inc()
+	qp.nic.WriteBytes.Add(int64(n))
+
+	// The ack travels the remaining flight to the memory node (where a
+	// two-sided server, if any, must apply the write) plus the response
+	// flight back.
+	served := qp.nic.serve(done+cfg.ReqFlight*3/4, n)
+	deliver := served + cfg.RespFlight
+	env.At(deliver, func() {
+		copy(dst, src)
+		qp.complete(Completion{Kind: OpWrite, Bytes: n, Cookie: cookie, QP: qp, At: deliver})
+	})
+	return nil
+}
+
+func (qp *QP) complete(c Completion) {
+	qp.outstanding--
+	if len(qp.fullWaiters) > 0 {
+		w := qp.fullWaiters[0]
+		qp.fullWaiters = qp.fullWaiters[1:]
+		qp.env.ScheduleResume(w, qp.env.Now())
+	}
+	qp.cq.push(c)
+}
+
+func maxTime(a, b, c sim.Time) sim.Time {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,93 @@
+package rdma
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// ServerConfig enables two-sided (SEND/RECV-style) serving: instead of
+// the NIC satisfying READ/WRITE autonomously, each operation is handled
+// by a memory-node server core — request dispatch, lookup, and memcpy
+// consume remote CPU before the response is generated.
+//
+// The paper's systems use one-sided verbs precisely to avoid this stage
+// (§3.1); the abl-twosided ablation quantifies what that choice buys:
+// added per-fetch latency and a fetch-rate ceiling of
+// Cores/(ServeCost + bytes×CopyCyclesPerByte).
+type ServerConfig struct {
+	// Cores is the number of memory-node cores polling receive queues.
+	Cores int
+	// ServeCost is the fixed per-request CPU cost (RQ poll, dispatch,
+	// translation, response post).
+	ServeCost sim.Time
+	// CopyCyclesPerByte is the server-side memcpy cost.
+	CopyCyclesPerByte float64
+}
+
+// DefaultServerConfig returns a two-core memory-node server, the typical
+// provisioning of RPC-based far-memory systems.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		Cores:             2,
+		ServeCost:         sim.Micros(0.45),
+		CopyCyclesPerByte: 0.06, // ~33 GB/s single-core copy at 2 GHz
+	}
+}
+
+// server tracks the memory node's serving cores.
+type server struct {
+	cfg    ServerConfig
+	freeAt []sim.Time
+	busy   stats.WindowedBusy
+
+	Served stats.Counter
+}
+
+// EnableTwoSided switches the NIC's remote operations to two-sided
+// serving with the given server provisioning. Must be called before any
+// operation is posted.
+func (n *NIC) EnableTwoSided(cfg ServerConfig) {
+	if cfg.Cores < 1 {
+		panic("rdma: two-sided server needs at least one core")
+	}
+	n.srv = &server{cfg: cfg, freeAt: make([]sim.Time, cfg.Cores)}
+}
+
+// TwoSided reports whether two-sided serving is enabled.
+func (n *NIC) TwoSided() bool { return n.srv != nil }
+
+// ServerUtilization returns the memory-node CPU utilization over the
+// measurement window (aggregate across cores).
+func (n *NIC) ServerUtilization() float64 {
+	if n.srv == nil {
+		return 0
+	}
+	window := int64(n.env.Now())
+	return n.srv.busy.Utilization(window*int64(n.srv.cfg.Cores)) * float64(n.srv.cfg.Cores)
+}
+
+// serve schedules the server stage for an operation arriving at the
+// memory node at time arrive, returning when the response is ready to
+// serialize. With two-sided serving disabled it is the identity.
+func (n *NIC) serve(arrive sim.Time, bytes int) sim.Time {
+	if n.srv == nil {
+		return arrive
+	}
+	s := n.srv
+	// Pick the earliest-free core (a shared RQ drained by all cores).
+	core := 0
+	for i := 1; i < len(s.freeAt); i++ {
+		if s.freeAt[i] < s.freeAt[core] {
+			core = i
+		}
+	}
+	start := arrive
+	if s.freeAt[core] > start {
+		start = s.freeAt[core]
+	}
+	done := start + s.cfg.ServeCost + sim.Time(float64(bytes)*s.cfg.CopyCyclesPerByte)
+	s.freeAt[core] = done
+	s.busy.AddInterval(int64(start), int64(done))
+	s.Served.Inc()
+	return done
+}

@@ -1,0 +1,163 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/ethernet"
+	"repro/internal/paging"
+	"repro/internal/rdma"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Worker is one request-processing core. It owns a page-fetch QP (whose
+// depth the PF-aware dispatcher inspects), a fetch CQ, and a TX queue.
+// Under the yield policy a worker multiplexes many blocked unithreads;
+// under busy-wait it runs exactly one request at a time.
+type Worker struct {
+	id    int
+	sched *Scheduler
+	disp  *dispatcher
+	proc  *sim.Proc
+
+	qp *rdma.QP // page-fetch queue pair
+	cq *rdma.CQ // page-fetch completions, polled by this worker
+
+	txq    *ethernet.TxQueue
+	txCQ   *rdma.CQ // own TX completions (SyncTx mode only)
+	txGate *sim.Gate
+
+	runGate  *sim.Gate // worker parks here while a unithread runs
+	idleGate *sim.Gate // worker parks here when it has no runnable work
+	cqGate   *sim.Gate // busy-waiting unithreads park here for CQ arrivals
+
+	inbox   []workItem   // assigned by the dispatcher (at most one pending)
+	ready   []*Unithread // fetch-completed unithreads awaiting resume
+	current *Unithread
+	idle    bool
+
+	busyCycles int64 // CPU consumed on this core (loop + unithreads)
+}
+
+// ID returns the worker's index.
+func (w *Worker) ID() int { return w.id }
+
+// BusyCycles returns the CPU cycles consumed on this worker core,
+// including the unithreads it hosted. Busy-wait spans are not included
+// (they are tracked separately as BusyWaitCycles).
+func (w *Worker) BusyCycles() int64 { return w.busyCycles }
+
+// Outstanding reports the worker QP's in-flight page fetches — the
+// congestion signal of Algorithm 1.
+func (w *Worker) Outstanding() int { return w.qp.Outstanding() }
+
+// charge consumes worker-loop CPU (polling, switching) on this core.
+func (w *Worker) charge(d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	w.proc.Sleep(d)
+	w.busyCycles += int64(d)
+	w.sched.cpuCycles += int64(d)
+}
+
+// loop is the worker's scheduling loop. Order follows §3.3: poll the
+// fetch CQ once, resume ready unithreads before starting new requests,
+// otherwise report idle and wait.
+func (w *Worker) loop(p *sim.Proc) {
+	w.proc = p
+	s := w.sched
+	for {
+		if s.cfg.Wait == Yield {
+			if cs := w.cq.Poll(32); len(cs) > 0 {
+				w.charge(s.cfg.Costs.CQPoll)
+				for _, c := range cs {
+					s.mgr.Complete(c.Cookie.(*paging.Fetch))
+				}
+			}
+		}
+		if len(w.ready) > 0 {
+			u := w.ready[0]
+			w.ready = w.ready[:copy(w.ready, w.ready[1:])]
+			w.charge(s.cfg.Costs.UnithreadSwitch)
+			w.handoff(u)
+			continue
+		}
+		if len(w.inbox) > 0 {
+			item := w.inbox[0]
+			w.inbox = w.inbox[:copy(w.inbox, w.inbox[1:])]
+			w.run(item)
+			continue
+		}
+		if s.cfg.Dispatch == WorkStealing {
+			if item, ok := w.steal(); ok {
+				w.run(item)
+				continue
+			}
+		}
+		w.idle = true
+		w.disp.gate.Wake() // tell the dispatcher a core freed up
+		w.idleGate.Wait(p)
+		w.idle = false
+	}
+}
+
+// run executes one work item: a fresh request or a migrated preempted
+// unithread.
+func (w *Worker) run(item workItem) {
+	if item.resumed != nil {
+		u := item.resumed
+		u.worker = w
+		w.charge(w.sched.cfg.Costs.PreemptSwitch)
+		w.handoff(u)
+		return
+	}
+	w.startRequest(item.req)
+}
+
+// steal scans peer workers' queues (oldest first from the victim's
+// tail) and takes one item — the ZygOS-style approximation of a central
+// queue. Each probed victim costs StealProbe; a hit costs StealTransfer.
+func (w *Worker) steal() (workItem, bool) {
+	s := w.sched
+	n := len(s.workers)
+	for j := 1; j < n; j++ {
+		v := s.workers[(w.id+j)%n]
+		w.charge(s.cfg.Costs.StealProbe)
+		if len(v.inbox) == 0 {
+			continue
+		}
+		item := v.inbox[len(v.inbox)-1]
+		v.inbox = v.inbox[:len(v.inbox)-1]
+		w.charge(s.cfg.Costs.StealTransfer)
+		s.Steals.Inc()
+		return item, true
+	}
+	return workItem{}, false
+}
+
+// startRequest spawns a unithread for a new request and runs it.
+func (w *Worker) startRequest(req *Request) {
+	s := w.sched
+	now := w.proc.Now()
+	req.Dispatched = now
+	u := &Unithread{sched: s, worker: w, gate: sim.NewGate(s.env), req: req}
+	w.charge(s.cfg.Costs.UnithreadSpawn + s.cfg.Costs.UnithreadSwitch)
+	s.env.Go("unithread", u.body)
+	w.handoff(u)
+}
+
+// handoff transfers the core to the unithread until it yields, is
+// preempted, or retires.
+func (w *Worker) handoff(u *Unithread) {
+	w.current = u
+	start := w.proc.Now()
+	u.gate.Wake()
+	w.runGate.Wait(w.proc)
+	w.current = nil
+	if w.sched.Trace != nil {
+		w.sched.Trace.Span(trace.KindRun, w.id,
+			fmt.Sprintf("req %d", u.req.Pkt.ID), start, w.proc.Now(),
+			map[string]any{"faults": u.req.Faults, "class": u.req.Pkt.Class})
+	}
+}

@@ -1,0 +1,152 @@
+package sim
+
+import "fmt"
+
+// event is a scheduled callback. Events with equal times fire in schedule
+// order (seq), which is what makes runs deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq). It is hand-rolled
+// (rather than container/heap) to avoid interface dispatch on the hottest
+// path of the simulator.
+type eventHeap struct {
+	ev []event
+}
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := &h.ev[i], &h.ev[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.ev[0]
+	last := len(h.ev) - 1
+	h.ev[0] = h.ev[last]
+	h.ev[last] = event{} // release fn for GC
+	h.ev = h.ev[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= len(h.ev) {
+			break
+		}
+		c := l
+		if r < len(h.ev) && h.less(r, l) {
+			c = r
+		}
+		if !h.less(c, i) {
+			break
+		}
+		h.ev[i], h.ev[c] = h.ev[c], h.ev[i]
+		i = c
+	}
+	return top
+}
+
+// Env is a simulation environment: a virtual clock, an event queue, and
+// the machinery that runs processes one at a time. An Env is not safe for
+// concurrent use; all interaction must happen from the goroutine that
+// calls Run or from processes the Env itself is driving.
+type Env struct {
+	now  Time
+	heap eventHeap
+	seq  uint64
+	rng  *RNG
+
+	// parked is the rendezvous on which a running process hands control
+	// back to the event loop (by parking or terminating). Because only one
+	// process runs at a time, one channel suffices.
+	parked chan struct{}
+
+	stopped   bool
+	nProcs    int                // live (not yet terminated) processes, for leak detection
+	parkedSet map[*Proc]struct{} // currently parked processes, for teardown
+}
+
+// NewEnv returns an environment with its clock at zero, seeded with seed.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		rng:    NewRNG(seed),
+		parked: make(chan struct{}),
+	}
+}
+
+// Now returns the current simulated time.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the run's deterministic random source.
+func (e *Env) Rand() *RNG { return e.rng }
+
+// At schedules fn to run at absolute time at. Scheduling in the past is a
+// bug in the caller and panics.
+func (e *Env) At(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	e.seq++
+	e.heap.push(event{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Env) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Stop terminates the event loop after the current event completes.
+// Remaining events are discarded; parked processes are abandoned (their
+// goroutines are unblocked and exit).
+func (e *Env) Stop() { e.stopped = true }
+
+// Run executes events until the clock would pass until, the queue drains,
+// or Stop is called. It returns the final simulated time.
+func (e *Env) Run(until Time) Time {
+	for !e.stopped && len(e.heap.ev) > 0 {
+		if e.heap.ev[0].at > until {
+			break
+		}
+		ev := e.heap.pop()
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < until && !e.stopped {
+		e.now = until
+	}
+	e.releaseParked()
+	return e.now
+}
+
+// RunAll executes events until the queue drains or Stop is called.
+func (e *Env) RunAll() Time {
+	for !e.stopped && len(e.heap.ev) > 0 {
+		ev := e.heap.pop()
+		e.now = ev.at
+		ev.fn()
+	}
+	e.releaseParked()
+	return e.now
+}
+
+// Pending reports the number of scheduled events, for tests.
+func (e *Env) Pending() int { return len(e.heap.ev) }
+
+// LiveProcs reports the number of processes that have started but not yet
+// terminated (parked or running), for leak detection in tests.
+func (e *Env) LiveProcs() int { return e.nProcs }

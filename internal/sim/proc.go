@@ -1,0 +1,129 @@
+package sim
+
+// Proc is a simulated process: a goroutine that runs strictly one at a
+// time under the event loop's control. A Proc may block on simulated time
+// (Sleep) or on synchronization primitives (Gate, Queue); while it is
+// blocked, other events and processes run. This is how unithreads,
+// workers, the dispatcher, the reclaimer, and load-generator flows are
+// expressed.
+//
+// The implementation uses a two-channel handshake: when the event loop
+// transfers control to a process it blocks on env.parked until the
+// process parks again or terminates, so at most one process (or the loop)
+// executes at any moment and no user-level locking is needed anywhere in
+// the simulator.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan procSignal
+	done   bool
+}
+
+type procSignal struct {
+	abort bool
+}
+
+// abortSignal is panicked inside a parked process when the environment
+// tears down, unwinding the process goroutine. Process bodies must not
+// park again from deferred functions.
+type abortSignal struct{}
+
+// Go creates a process that will begin executing fn at the current
+// simulated time (after already-scheduled events at this time).
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan procSignal)}
+	e.nProcs++
+	e.After(0, func() { p.start(fn) })
+	return p
+}
+
+func (p *Proc) start(fn func(*Proc)) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(abortSignal); !ok {
+					panic(r)
+				}
+			}
+			p.done = true
+			p.env.nProcs--
+			p.env.parked <- struct{}{}
+		}()
+		fn(p)
+	}()
+	<-p.env.parked
+}
+
+// Name returns the process's debug name.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the owning environment.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// park hands control back to the event loop until some event resumes this
+// process. The caller must have arranged for a wake-up first.
+func (p *Proc) park() {
+	if p.env.parkedSet == nil {
+		p.env.parkedSet = make(map[*Proc]struct{})
+	}
+	p.env.parkedSet[p] = struct{}{}
+	p.env.parked <- struct{}{}
+	sig := <-p.resume
+	if sig.abort {
+		panic(abortSignal{})
+	}
+}
+
+// resumeProc transfers control from the event loop to a parked process
+// and waits until it parks again or terminates. Must only be called from
+// event-loop context (an event callback).
+func (e *Env) resumeProc(p *Proc) {
+	if p.done {
+		panic("sim: resuming terminated proc " + p.name)
+	}
+	delete(e.parkedSet, p)
+	p.resume <- procSignal{}
+	<-e.parked
+}
+
+// scheduleResume arranges for p to be resumed at time at. It is the
+// building block for all wake-ups: primitives never resume a process
+// inline (that would nest processes); they always go through an event.
+func (e *Env) scheduleResume(p *Proc, at Time) {
+	e.At(at, func() { e.resumeProc(p) })
+}
+
+// Park blocks the process until some event resumes it via ScheduleResume.
+// It is the extension point for custom synchronization primitives in
+// other packages (QP slot waits, fault-completion waits): the caller must
+// have registered itself somewhere a future event will find it.
+func (p *Proc) Park() { p.park() }
+
+// ScheduleResume arranges for a parked process to be resumed at time at.
+// The companion of Park for building custom primitives.
+func (e *Env) ScheduleResume(p *Proc, at Time) { e.scheduleResume(p, at) }
+
+// Sleep blocks the process for d cycles of simulated time. In the system
+// model, a worker or unithread sleeping represents the CPU core being
+// busy for that long.
+func (p *Proc) Sleep(d Time) {
+	if d <= 0 {
+		return
+	}
+	p.env.scheduleResume(p, p.env.now+d)
+	p.park()
+}
+
+// releaseParked unwinds any still-parked process goroutines. Called when
+// a run finishes so that repeated simulations (benchmark sweeps) do not
+// leak goroutines.
+func (e *Env) releaseParked() {
+	for p := range e.parkedSet {
+		delete(e.parkedSet, p)
+		p.resume <- procSignal{abort: true}
+		<-e.parked
+	}
+}

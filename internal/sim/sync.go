@@ -1,0 +1,108 @@
+package sim
+
+// Gate is a single-waiter wake-up point with binary-semaphore semantics:
+// a Wake that arrives while nobody waits is remembered (once) and
+// consumed by the next Wait. Workers wait on their gate for new requests
+// or fetch completions; the dispatcher waits on its gate for arrivals.
+type Gate struct {
+	env     *Env
+	waiter  *Proc
+	pending bool
+}
+
+// NewGate returns a gate bound to env.
+func NewGate(env *Env) *Gate { return &Gate{env: env} }
+
+// Wait blocks p until the gate is woken. If a wake is already pending it
+// is consumed and Wait returns immediately (in zero simulated time).
+func (g *Gate) Wait(p *Proc) {
+	if g.pending {
+		g.pending = false
+		return
+	}
+	if g.waiter != nil {
+		panic("sim: gate already has a waiter (" + g.waiter.name + ")")
+	}
+	g.waiter = p
+	p.park()
+}
+
+// Wake releases the waiting process (resumed at the current time, after
+// already-scheduled events) or, if none waits, leaves a pending wake.
+// Safe to call from both event and process context.
+func (g *Gate) Wake() {
+	if g.waiter == nil {
+		g.pending = true
+		return
+	}
+	w := g.waiter
+	g.waiter = nil
+	g.env.scheduleResume(w, g.env.now)
+}
+
+// Waiting reports whether a process is currently blocked on the gate.
+func (g *Gate) Waiting() bool { return g.waiter != nil }
+
+// Queue is an unbounded blocking FIFO connecting processes (and event
+// callbacks) in the simulation. Push never blocks; Pop blocks the calling
+// process until an item is available. Multiple poppers are served in
+// wake-up order with Mesa semantics (a resumed popper rechecks).
+type Queue[T any] struct {
+	env     *Env
+	items   []T
+	head    int
+	waiters []*Proc
+}
+
+// NewQueue returns a queue bound to env.
+func NewQueue[T any](env *Env) *Queue[T] { return &Queue[T]{env: env} }
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }
+
+// Push appends v and wakes one waiting popper, if any.
+func (q *Queue[T]) Push(v T) {
+	q.items = append(q.items, v)
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.env.scheduleResume(w, q.env.now)
+	}
+}
+
+// Pop blocks p until an item is available, then removes and returns the
+// oldest item.
+func (q *Queue[T]) Pop(p *Proc) T {
+	for q.Len() == 0 {
+		q.waiters = append(q.waiters, p)
+		p.park()
+	}
+	v, _ := q.TryPop()
+	return v
+}
+
+// TryPop removes and returns the oldest item without blocking.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	if q.Len() == 0 {
+		return zero, false
+	}
+	v := q.items[q.head]
+	q.items[q.head] = zero // release for GC
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return v, true
+}
+
+// Peek returns the oldest item without removing it.
+func (q *Queue[T]) Peek() (T, bool) {
+	var zero T
+	if q.Len() == 0 {
+		return zero, false
+	}
+	return q.items[q.head], true
+}

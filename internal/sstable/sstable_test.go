@@ -1,0 +1,231 @@
+package sstable
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memnode"
+	"repro/internal/paging"
+	"repro/internal/rdma"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+type ctxThread struct {
+	env  *sim.Env
+	proc *sim.Proc
+	mgr  *paging.Manager
+	qp   *rdma.QP
+	gate *sim.Gate
+}
+
+func (t *ctxThread) Proc() *sim.Proc    { return t.proc }
+func (t *ctxThread) QP() *rdma.QP       { return t.qp }
+func (t *ctxThread) Rand() *sim.RNG     { return t.env.Rand() }
+func (t *ctxThread) Compute(d sim.Time) { t.proc.Sleep(d) }
+func (t *ctxThread) Probe()             {}
+func (t *ctxThread) CriticalEnter()     {}
+func (t *ctxThread) CriticalExit()      {}
+func (t *ctxThread) Block(enqueue func(wake func())) {
+	done := false
+	enqueue(func() {
+		done = true
+		t.gate.Wake()
+	})
+	for !done {
+		t.gate.Wait(t.proc)
+	}
+}
+
+func (t *ctxThread) WaitPage(s *paging.Space, vpn int64) {
+	for !s.Resident(vpn) {
+		if t.mgr.RequestPage(t, s, vpn, t.gate.Wake, true) {
+			return
+		}
+		t.gate.Wait(t.proc)
+	}
+}
+
+func harness(t *testing.T, cfg Config, localFrac float64, fn func(ctx workload.Ctx, tab *Table)) *Table {
+	t.Helper()
+	env := sim.NewEnv(11)
+	probe := paging.NewManager(env, paging.DefaultConfig(paging.PageSize))
+	sized := New(probe, memnode.New(4<<30), cfg)
+	local := int64(localFrac * float64(sized.SpaceSize()))
+	if local < 8*paging.PageSize {
+		local = 8 * paging.PageSize
+	}
+	mgr := paging.NewManager(env, paging.DefaultConfig(local))
+	tab := New(mgr, memnode.New(4<<30), cfg)
+	tab.WarmCache()
+
+	nic := rdma.NewNIC(env, rdma.DefaultConfig())
+	cq := rdma.NewCQ("t")
+	qp := nic.CreateQP("t", cq)
+	cq.Notify = func() {
+		for _, c := range cq.Poll(64) {
+			mgr.Complete(c.Cookie.(*paging.Fetch))
+		}
+	}
+	rcq := rdma.NewCQ("reclaim")
+	mgr.StartReclaimer(nic.CreateQP("reclaim", rcq), rcq)
+
+	env.Go("driver", func(p *sim.Proc) {
+		ctx := &ctxThread{env: env, proc: p, mgr: mgr, qp: qp, gate: sim.NewGate(env)}
+		fn(ctx, tab)
+	})
+	env.Run(sim.Seconds(300))
+	return tab
+}
+
+func TestGetFindsExistingKeys(t *testing.T) {
+	cfg := DefaultConfig(5000, 128)
+	tab := harness(t, cfg, 0.2, func(ctx workload.Ctx, tab *Table) {
+		for i := int64(0); i < 5000; i += 11 {
+			key := recordKey(i)
+			r := tab.get(ctx, key)
+			if !r.Found {
+				t.Errorf("key %d not found", key)
+				return
+			}
+			if r.Digest != tab.VerifyGetDigest(key) {
+				t.Errorf("key %d digest mismatch", key)
+				return
+			}
+		}
+	})
+	if tab.Mismatches.Value() != 0 || tab.NotFound.Value() != 0 {
+		t.Fatalf("mismatches=%d notfound=%d", tab.Mismatches.Value(), tab.NotFound.Value())
+	}
+}
+
+func TestGetAbsentKey(t *testing.T) {
+	cfg := DefaultConfig(1000, 128)
+	tab := harness(t, cfg, 0.5, func(ctx workload.Ctx, tab *Table) {
+		// keyStride=7, so key 3 does not exist.
+		if r := tab.get(ctx, 3); r.Found {
+			t.Error("absent key reported found")
+		}
+		// Beyond the last key.
+		if r := tab.get(ctx, recordKey(5000)); r.Found {
+			t.Error("out-of-range key reported found")
+		}
+	})
+	if tab.NotFound.Value() != 2 {
+		t.Fatalf("notfound = %d, want 2", tab.NotFound.Value())
+	}
+}
+
+func TestScanReturnsOrderedRange(t *testing.T) {
+	cfg := DefaultConfig(5000, 128)
+	harness(t, cfg, 0.2, func(ctx workload.Ctx, tab *Table) {
+		r := tab.scan(ctx, recordKey(100), 100)
+		if r.Count != 100 {
+			t.Errorf("scan count = %d, want 100", r.Count)
+			return
+		}
+		// Digest must equal folding the expected keys.
+		digest := uint64(1469598103934665603)
+		for i := int64(100); i < 200; i++ {
+			digest = digest*0x100000001B3 + recordKey(i)
+		}
+		if r.Digest != digest {
+			t.Error("scan digest mismatch: wrong records or order")
+		}
+		// Scan clipped at the end of the table.
+		r = tab.scan(ctx, recordKey(4950), 100)
+		if r.Count != 50 {
+			t.Errorf("clipped scan count = %d, want 50", r.Count)
+		}
+	})
+}
+
+func TestScanCostsDwarfGets(t *testing.T) {
+	// The paper's premise: SCAN(100) service time is 25-100x a GET's.
+	cfg := DefaultConfig(20000, 1024)
+	harness(t, cfg, 0.2, func(ctx workload.Ctx, tab *Table) {
+		// Warm the (small) bloom and index spaces into steady state, as
+		// sustained load would.
+		rng := sim.NewRNG(2)
+		for i := 0; i < 300; i++ {
+			tab.get(ctx, recordKey(rng.Int63n(20000)))
+		}
+		var getTime, scanTime sim.Time
+		const trials = 20
+		for i := 0; i < trials; i++ {
+			t0 := ctx.Proc().Now()
+			tab.get(ctx, recordKey(rng.Int63n(20000)))
+			getTime += ctx.Proc().Now() - t0
+			t0 = ctx.Proc().Now()
+			tab.scan(ctx, recordKey(rng.Int63n(19000)), 100)
+			scanTime += ctx.Proc().Now() - t0
+		}
+		ratio := float64(scanTime) / float64(getTime)
+		if ratio < 15 || ratio > 300 {
+			t.Errorf("scan/get service ratio = %.1f (get=%v scan=%v), want the paper's 25-100x dispersion",
+				ratio, getTime/trials, scanTime/trials)
+		}
+	})
+}
+
+func TestRequestMixAndClassifier(t *testing.T) {
+	env := sim.NewEnv(1)
+	mgr := paging.NewManager(env, paging.DefaultConfig(1<<20))
+	cfg := DefaultConfig(2000, 128)
+	tab := New(mgr, memnode.New(1<<30), cfg)
+	rng := sim.NewRNG(9)
+	gets, scans := 0, 0
+	for i := 0; i < 10000; i++ {
+		payload, _ := tab.NextRequest(rng)
+		switch tab.Classify(payload) {
+		case "GET":
+			gets++
+		case "SCAN":
+			scans++
+			sc := payload.(Scan)
+			if sc.Len != 100 {
+				t.Fatalf("scan len = %d", sc.Len)
+			}
+		}
+	}
+	// 1% scans, binomial: expect ~100±50.
+	if scans < 40 || scans > 200 {
+		t.Fatalf("scan fraction off: %d/10000", scans)
+	}
+	if gets+scans != 10000 {
+		t.Fatal("classifier lost requests")
+	}
+}
+
+func TestSeekFindsLowerBound(t *testing.T) {
+	// Property: for arbitrary probe keys, seek returns the index of the
+	// first record with key >= probe, exactly like a reference binary
+	// search over the key space.
+	cfg := DefaultConfig(3000, 64)
+	harness(t, cfg, 1.0, func(ctx workload.Ctx, tab *Table) {
+		check := func(raw uint16) bool {
+			probe := uint64(raw) % (recordKey(3000) + 20)
+			got := tab.seek(ctx, probe)
+			want := int64(sort.Search(3000, func(i int) bool { return recordKey(int64(i)) >= probe }))
+			return got == want
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestBloomNeverFalseNegative(t *testing.T) {
+	// Property: every loaded key passes the bloom filter.
+	cfg := DefaultConfig(2000, 64)
+	harness(t, cfg, 1.0, func(ctx workload.Ctx, tab *Table) {
+		check := func(raw uint16) bool {
+			key := recordKey(int64(raw) % 2000)
+			return tab.bloomTest(ctx, key)
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+			t.Error(err)
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Mix is the paper's TPC-C transaction mix (§5.2): New-Order 44.5%,
+// Payment 43.1%, Order-Status 4.1%, Delivery 4.2%, Stock-Level 4.1%.
+var Mix = struct {
+	NewOrder, Payment, OrderStatus, Delivery, StockLevel float64
+}{0.445, 0.431, 0.041, 0.042, 0.041}
+
+// NextRequest implements workload.App: draw a transaction per the mix,
+// with TPC-C's NURand customer/item selection and the 1% invalid-item
+// rule for New-Orders.
+func (db *DB) NextRequest(rng *sim.RNG) (any, int) {
+	w := rng.Intn(db.cfg.Warehouses)
+	d := rng.Intn(districtsPerW)
+	r := rng.Float64()
+	switch {
+	case r < Mix.NewOrder:
+		c := nurand(rng, 1023, db.nurandCCust, 0, db.cfg.CustomersPerDistrict-1)
+		n := 5 + rng.Intn(11)
+		lines := make([]NewOrderLine, n)
+		for i := range lines {
+			lines[i] = NewOrderLine{
+				Item: uint32(nurand(rng, 8191, db.nurandCItem, 0, db.cfg.ItemCount-1)),
+				Qty:  uint32(1 + rng.Intn(10)),
+			}
+		}
+		return NewOrderReq{W: w, D: d, C: c, Lines: lines, Invalid: rng.Bool(0.01)}, 64 + n*8
+	case r < Mix.NewOrder+Mix.Payment:
+		c := nurand(rng, 1023, db.nurandCCust, 0, db.cfg.CustomersPerDistrict-1)
+		req := PaymentReq{W: w, D: d, C: c, AmountC: uint64(100 + rng.Intn(500000))}
+		if rng.Bool(0.6) { // clause 2.5.2.2: 60% select by last name
+			req.ByName = true
+			req.LastName = nurand(rng, 255, db.nurandCCust&255, 0, 999)
+		}
+		return req, 96
+	case r < Mix.NewOrder+Mix.Payment+Mix.OrderStatus:
+		c := nurand(rng, 1023, db.nurandCCust, 0, db.cfg.CustomersPerDistrict-1)
+		req := OrderStatusReq{W: w, D: d, C: c}
+		if rng.Bool(0.6) {
+			req.ByName = true
+			req.LastName = nurand(rng, 255, db.nurandCCust&255, 0, 999)
+		}
+		return req, 64
+	case r < Mix.NewOrder+Mix.Payment+Mix.OrderStatus+Mix.Delivery:
+		return DeliveryReq{W: w, Carrier: uint32(1 + rng.Intn(10))}, 64
+	default:
+		return StockLevelReq{W: w, D: d, Threshold: uint32(10 + rng.Intn(11))}, 64
+	}
+}
+
+// Handler implements workload.App.
+func (db *DB) Handler() workload.Handler {
+	return func(ctx workload.Ctx, payload any) (any, int) {
+		switch req := payload.(type) {
+		case NewOrderReq:
+			return db.NewOrder(ctx, req), 96
+		case PaymentReq:
+			return db.Payment(ctx, req), 64
+		case OrderStatusReq:
+			return db.OrderStatus(ctx, req), 96
+		case DeliveryReq:
+			return db.Delivery(ctx, req), 64
+		case StockLevelReq:
+			return db.StockLevel(ctx, req), 64
+		default:
+			panic(fmt.Sprintf("tpcc: unknown request %T", payload))
+		}
+	}
+}
+
+// Classify labels transactions for per-class latency reporting.
+func (db *DB) Classify(payload any) string {
+	switch payload.(type) {
+	case NewOrderReq:
+		return "NewOrder"
+	case PaymentReq:
+		return "Payment"
+	case OrderStatusReq:
+		return "OrderStatus"
+	case DeliveryReq:
+		return "Delivery"
+	default:
+		return "StockLevel"
+	}
+}
+
+// Name implements workload.App.
+func (db *DB) Name() string { return fmt.Sprintf("silo-tpcc-W%d", db.cfg.Warehouses) }

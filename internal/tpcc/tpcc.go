@@ -1,0 +1,392 @@
+// Package tpcc is the Silo stand-in: an in-memory OLTP engine running
+// the five TPC-C transactions over tables stored in paged remote memory.
+// The paper's Silo experiment uses TPC-C at scaling factor 200 (~20 GB);
+// this implementation keeps the per-warehouse layout and per-transaction
+// record-touch counts of TPC-C (so the page-fault profile matches) while
+// letting the scale factor be chosen to fit the machine.
+//
+// Concurrency control is per-district mutual exclusion with cooperative
+// waiting. Silo proper uses OCC; at TPC-C's district-partitioned access
+// pattern the two admit the same parallelism, and the substitution keeps
+// transactions serializable under the simulator's interleaving (see
+// DESIGN.md). Stock-Level runs without the lock at read-committed
+// isolation, exactly as the TPC-C specification permits.
+package tpcc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/memnode"
+	"repro/internal/paging"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Record strides (bytes), padded from the TPC-C row sizes.
+const (
+	warehouseSize = 128
+	districtSize  = 128
+	customerSize  = 704
+	itemSize      = 96
+	stockSize     = 320
+	orderSize     = 32
+	orderLineSize = 64
+	historySize   = 64
+
+	districtsPerW = 10
+	maxLines      = 15
+)
+
+// Config sizes the database. Defaults follow TPC-C; tests shrink them.
+type Config struct {
+	Warehouses int
+	// CustomersPerDistrict, ItemCount and InitialOrders default to the
+	// TPC-C values (3000, 100000, 3000).
+	CustomersPerDistrict int
+	ItemCount            int
+	InitialOrders        int
+	// OrderCapacity bounds per-district order slots (initial + new).
+	OrderCapacity int
+
+	// RecordCost is the CPU charge per record access; LineCost per order
+	// line processed.
+	RecordCost sim.Time
+	LineCost   sim.Time
+	ParseCost  sim.Time
+}
+
+// DefaultConfig returns a TPC-C database with the given warehouse count.
+func DefaultConfig(warehouses int) Config {
+	return Config{
+		Warehouses:           warehouses,
+		CustomersPerDistrict: 3000,
+		ItemCount:            100000,
+		InitialOrders:        3000,
+		OrderCapacity:        3000 + 4096,
+		RecordCost:           1200, // Masstree-scale index traversal + access
+		LineCost:             600,
+		ParseCost:            1000,
+	}
+}
+
+// DB is the TPC-C database.
+type DB struct {
+	cfg Config
+	mgr *paging.Manager
+
+	warehouse *paging.Space
+	district  *paging.Space
+	customer  *paging.Space
+	item      *paging.Space
+	stock     *paging.Space
+	order     *paging.Space
+	orderLine *paging.Space
+	history   *paging.Space
+
+	// byName maps (district, last name) to customers — TPC-C's secondary
+	// customer index, used by the 60% of Payment/Order-Status requests
+	// that select by last name (clause 2.5.2.2). byCust maps a customer
+	// to its most recent order id (the Order-Status index). Both are
+	// paged B+trees, so index traversals fault like Silo's Masstree
+	// would over disaggregated memory.
+	byName *btree.Tree
+	byCust *btree.Tree
+
+	// custLock serializes byCust writers: B+tree inserts are not safe
+	// under concurrent structural modification (Silo's Masstree uses
+	// per-node latches; a single writer lock suffices at TPC-C's insert
+	// rate). Readers tolerate concurrent inserts (worst case a transient
+	// miss, read-committed semantics).
+	custLock mutex
+
+	// In-core superblock state.
+	locks       []mutex // one per district
+	nextDeliver []int32 // per district: oldest undelivered order id
+	histCursor  []int32 // per district: next history slot
+
+	// Aborts counts transactions aborted by TPC-C's 1% invalid-item rule;
+	// NameMisses counts by-last-name lookups that matched no customer.
+	Aborts     stats.Counter
+	NameMisses stats.Counter
+	// Conflicts counts lock waits (contention indicator).
+	Conflicts stats.Counter
+
+	nurandCCust int
+	nurandCItem int
+}
+
+// mutex is a scheduler-cooperative lock: waiters block through
+// workload.Ctx.Block, so under Adios a lock wait yields the core (the
+// unithread way) and under busy-wait systems it spins — never wedging
+// the worker whose unithread holds the lock.
+type mutex struct {
+	env     *sim.Env
+	held    bool
+	waiters []func()
+}
+
+func (m *mutex) lock(ctx workload.Ctx, contended *stats.Counter) {
+	for m.held {
+		contended.Inc()
+		ctx.Block(func(wake func()) { m.waiters = append(m.waiters, wake) })
+	}
+	m.held = true
+	// Holding a lock disables preemption (lest the holder be parked
+	// behind the central queue while contenders spin — convoy collapse).
+	ctx.CriticalEnter()
+}
+
+func (m *mutex) unlock(ctx workload.Ctx) {
+	ctx.CriticalExit()
+	m.held = false
+	if len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		w()
+	}
+}
+
+// New builds and populates the database.
+func New(env *sim.Env, mgr *paging.Manager, node *memnode.Node, cfg Config) *DB {
+	if cfg.Warehouses <= 0 {
+		panic("tpcc: need at least one warehouse")
+	}
+	db := &DB{cfg: cfg, mgr: mgr}
+	W := int64(cfg.Warehouses)
+	D := W * districtsPerW
+	C := D * int64(cfg.CustomersPerDistrict)
+
+	alloc := func(name string, n, stride int64) *paging.Space {
+		bytes := (n*stride + paging.PageSize - 1) / paging.PageSize * paging.PageSize
+		return mgr.NewSpace(name, node.MustAlloc("tpcc/"+name, bytes))
+	}
+	db.warehouse = alloc("warehouse", W, warehouseSize)
+	db.district = alloc("district", D, districtSize)
+	db.customer = alloc("customer", C, customerSize)
+	db.item = alloc("item", int64(cfg.ItemCount), itemSize)
+	db.stock = alloc("stock", W*int64(cfg.ItemCount), stockSize)
+	db.order = alloc("order", D*int64(cfg.OrderCapacity), orderSize)
+	db.orderLine = alloc("orderline", D*int64(cfg.OrderCapacity)*maxLines, orderLineSize)
+	db.history = alloc("history", D*int64(cfg.OrderCapacity), historySize)
+
+	db.locks = make([]mutex, D)
+	for i := range db.locks {
+		db.locks[i].env = env
+	}
+	db.custLock.env = env
+	db.nextDeliver = make([]int32, D)
+	db.histCursor = make([]int32, D)
+	idxPages := C/int64(btree.MaxEntries/2) + 64
+	db.byName = btree.New(mgr, node, "tpcc/byname", idxPages)
+	db.byCust = btree.New(mgr, node, "tpcc/bycust", idxPages*2)
+
+	// NURand constants are chosen once per database, per the spec.
+	rng := sim.NewRNG(12345)
+	db.nurandCCust = rng.Intn(1024)
+	db.nurandCItem = rng.Intn(8192)
+
+	db.populate(rng)
+	return db
+}
+
+// Offsets.
+func (db *DB) wOff(w int) int64 { return int64(w) * warehouseSize }
+func (db *DB) dIdx(w, d int) int64 {
+	return int64(w)*districtsPerW + int64(d)
+}
+func (db *DB) dOff(w, d int) int64 { return db.dIdx(w, d) * districtSize }
+func (db *DB) cIdx(w, d, c int) int64 {
+	return db.dIdx(w, d)*int64(db.cfg.CustomersPerDistrict) + int64(c)
+}
+func (db *DB) cOff(w, d, c int) int64 { return db.cIdx(w, d, c) * customerSize }
+func (db *DB) iOff(i int) int64       { return int64(i) * itemSize }
+func (db *DB) sOff(w, i int) int64 {
+	return (int64(w)*int64(db.cfg.ItemCount) + int64(i)) * stockSize
+}
+func (db *DB) oOff(w, d, o int) int64 {
+	return (db.dIdx(w, d)*int64(db.cfg.OrderCapacity) + int64(o)) * orderSize
+}
+func (db *DB) olOff(w, d, o, l int) int64 {
+	return ((db.dIdx(w, d)*int64(db.cfg.OrderCapacity)+int64(o))*maxLines + int64(l)) * orderLineSize
+}
+func (db *DB) hOff(w, d, h int) int64 {
+	return (db.dIdx(w, d)*int64(db.cfg.OrderCapacity) + int64(h)) * historySize
+}
+
+// Field offsets within records (all little-endian u32/u64).
+const (
+	fWYtd = 0 // u64 cents
+	fWTax = 8 // u32 basis points
+
+	fDNextOID = 0  // u32
+	fDYtd     = 8  // u64 cents
+	fDTax     = 16 // u32 basis points
+
+	fCBalance     = 0  // i64 cents
+	fCYtdPayment  = 8  // u64 cents
+	fCPaymentCnt  = 16 // u32
+	fCDeliveryCnt = 20 // u32
+	fCDiscount    = 24 // u32 basis points
+
+	fIPrice = 0 // u32 cents
+
+	fSQuantity  = 0  // u32
+	fSYtd       = 4  // u32
+	fSOrderCnt  = 8  // u32
+	fSRemoteCnt = 12 // u32
+
+	fOCID       = 0  // u32 customer id
+	fOOLCnt     = 4  // u32 line count
+	fOCarrierID = 8  // u32, 0 = undelivered
+	fOEntryD    = 12 // u32 entry timestamp (low bits of sim time)
+
+	fOLItem   = 0  // u32 item id
+	fOLQty    = 4  // u32
+	fOLAmount = 8  // u64 cents
+	fOLSupply = 16 // u32 supplying warehouse
+)
+
+// populate writes the initial database directly into the backing
+// regions (setup time, not simulated).
+func (db *DB) populate(rng *sim.RNG) {
+	W := db.cfg.Warehouses
+	C := int64(W) * districtsPerW * int64(db.cfg.CustomersPerDistrict)
+	lastOrderSeed := make([]int64, C)
+	for i := range lastOrderSeed {
+		lastOrderSeed[i] = -1
+	}
+	put32 := func(sp *paging.Space, off int64, v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		sp.WriteDirect(off, b[:])
+	}
+	put64 := func(sp *paging.Space, off int64, v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		sp.WriteDirect(off, b[:])
+	}
+
+	for i := 0; i < db.cfg.ItemCount; i++ {
+		put32(db.item, db.iOff(i)+fIPrice, uint32(100+rng.Intn(9900))) // $1..$100
+	}
+	for w := 0; w < db.cfg.Warehouses; w++ {
+		put64(db.warehouse, db.wOff(w)+fWYtd, 30_000_000*districtsPerW) // $300k
+		put32(db.warehouse, db.wOff(w)+fWTax, uint32(rng.Intn(2001)))
+		for i := 0; i < db.cfg.ItemCount; i++ {
+			put32(db.stock, db.sOff(w, i)+fSQuantity, uint32(10+rng.Intn(91)))
+		}
+		for d := 0; d < districtsPerW; d++ {
+			put32(db.district, db.dOff(w, d)+fDNextOID, uint32(db.cfg.InitialOrders))
+			put64(db.district, db.dOff(w, d)+fDYtd, 30_000_000) // $30k
+			put32(db.district, db.dOff(w, d)+fDTax, uint32(rng.Intn(2001)))
+			for c := 0; c < db.cfg.CustomersPerDistrict; c++ {
+				off := db.cOff(w, d, c)
+				initialBalance := int64(-1000) // C_BALANCE = -$10.00
+				put64(db.customer, off+fCBalance, uint64(initialBalance))
+				put32(db.customer, off+fCDiscount, uint32(rng.Intn(5001)))
+			}
+			for o := 0; o < db.cfg.InitialOrders; o++ {
+				cID := o % db.cfg.CustomersPerDistrict // one order per customer, permuted trivially
+				lines := 5 + rng.Intn(11)
+				put32(db.order, db.oOff(w, d, o)+fOCID, uint32(cID))
+				put32(db.order, db.oOff(w, d, o)+fOOLCnt, uint32(lines))
+				delivered := uint32(0)
+				if o < db.cfg.InitialOrders*7/10 {
+					delivered = uint32(1 + rng.Intn(10)) // first 70% delivered
+				}
+				put32(db.order, db.oOff(w, d, o)+fOCarrierID, delivered)
+				for l := 0; l < lines; l++ {
+					item := rng.Intn(db.cfg.ItemCount)
+					put32(db.orderLine, db.olOff(w, d, o, l)+fOLItem, uint32(item))
+					put32(db.orderLine, db.olOff(w, d, o, l)+fOLQty, 5)
+					put64(db.orderLine, db.olOff(w, d, o, l)+fOLAmount, uint64(rng.Intn(999900)+1))
+					put32(db.orderLine, db.olOff(w, d, o, l)+fOLSupply, uint32(w))
+				}
+				lastOrderSeed[db.cIdx(w, d, cID)] = int64(o)
+			}
+			dIdx := db.dIdx(w, d)
+			db.nextDeliver[dIdx] = int32(db.cfg.InitialOrders * 7 / 10)
+		}
+	}
+
+	// Bulk-load the secondary indexes (sorted key order).
+	var nameKeys, nameVals []uint64
+	for w := 0; w < W; w++ {
+		for d := 0; d < districtsPerW; d++ {
+			dIdx := db.dIdx(w, d)
+			byLast := make([][]int, 1000)
+			for c := 0; c < db.cfg.CustomersPerDistrict; c++ {
+				l := lastName(c)
+				byLast[l] = append(byLast[l], c)
+			}
+			for l := 0; l < 1000; l++ {
+				for _, c := range byLast[l] {
+					nameKeys = append(nameKeys, db.nameKey(dIdx, l, c))
+					nameVals = append(nameVals, uint64(db.cIdx(w, d, c)))
+				}
+			}
+		}
+	}
+	db.byName.BulkLoad(nameKeys, nameVals)
+
+	var custKeys, custVals []uint64
+	for cIdx := int64(0); cIdx < C; cIdx++ {
+		if lastOrderSeed[cIdx] < 0 {
+			continue
+		}
+		custKeys = append(custKeys, uint64(cIdx))
+		custVals = append(custVals, uint64(lastOrderSeed[cIdx]))
+	}
+	db.byCust.BulkLoad(custKeys, custVals)
+}
+
+// TotalBytes returns the database footprint across all spaces,
+// including the paged secondary indexes.
+func (db *DB) TotalBytes() int64 {
+	return db.warehouse.Size() + db.district.Size() + db.customer.Size() +
+		db.item.Size() + db.stock.Size() + db.order.Size() +
+		db.orderLine.Size() + db.history.Size() +
+		db.byName.Space().Size() + db.byCust.Space().Size()
+}
+
+// WarmCache preloads table prefixes proportionally to their sizes until
+// the frame pool reaches steady state.
+func (db *DB) WarmCache() {
+	cfg := db.mgr.Config()
+	budget := int64(float64(db.mgr.TotalFrames())*(1-cfg.ReclaimThreshold-0.02)) * paging.PageSize
+	total := db.TotalBytes()
+	for _, sp := range []*paging.Space{db.warehouse, db.district, db.customer,
+		db.item, db.stock, db.order, db.orderLine, db.history} {
+		share := int64(float64(budget) * float64(sp.Size()) / float64(total))
+		share = share / paging.PageSize * paging.PageSize
+		if share > sp.Size() {
+			share = sp.Size()
+		}
+		if share > 0 {
+			sp.Preload(0, share)
+		}
+	}
+}
+
+// lastName returns the deterministic last-name id (0..999) of customer
+// c, standing in for TPC-C's syllable-generated C_LAST strings.
+func lastName(c int) int {
+	return int((uint64(c) * 2654435761) % 1000)
+}
+
+// nameKey builds the byName index key: (district, lastName, customer).
+func (db *DB) nameKey(dIdx int64, last, c int) uint64 {
+	return uint64(dIdx)<<24 | uint64(last)<<12 | uint64(c)&0xFFF
+}
+
+// NURand is the TPC-C non-uniform random function (clause 2.1.6).
+func nurand(rng *sim.RNG, a, c, x, y int) int {
+	return (((rng.Intn(a+1) | (x + rng.Intn(y-x+1))) + c) % (y - x + 1)) + x
+}
+
+func (db *DB) String() string {
+	return fmt.Sprintf("tpcc(W=%d, %.1f MiB)", db.cfg.Warehouses, float64(db.TotalBytes())/(1<<20))
+}

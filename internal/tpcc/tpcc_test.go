@@ -1,0 +1,440 @@
+package tpcc
+
+import (
+	"testing"
+
+	"repro/internal/memnode"
+	"repro/internal/paging"
+	"repro/internal/rdma"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+type ctxThread struct {
+	env  *sim.Env
+	proc *sim.Proc
+	mgr  *paging.Manager
+	qp   *rdma.QP
+	gate *sim.Gate
+}
+
+func (t *ctxThread) Proc() *sim.Proc    { return t.proc }
+func (t *ctxThread) QP() *rdma.QP       { return t.qp }
+func (t *ctxThread) Rand() *sim.RNG     { return t.env.Rand() }
+func (t *ctxThread) Compute(d sim.Time) { t.proc.Sleep(d) }
+func (t *ctxThread) Probe()             {}
+func (t *ctxThread) CriticalEnter()     {}
+func (t *ctxThread) CriticalExit()      {}
+func (t *ctxThread) Block(enqueue func(wake func())) {
+	done := false
+	enqueue(func() {
+		done = true
+		t.gate.Wake()
+	})
+	for !done {
+		t.gate.Wait(t.proc)
+	}
+}
+
+func (t *ctxThread) WaitPage(s *paging.Space, vpn int64) {
+	for !s.Resident(vpn) {
+		if t.mgr.RequestPage(t, s, vpn, t.gate.Wake, true) {
+			return
+		}
+		t.gate.Wait(t.proc)
+	}
+}
+
+// smallConfig shrinks TPC-C to test scale while keeping the schema.
+func smallConfig() Config {
+	cfg := DefaultConfig(2)
+	cfg.CustomersPerDistrict = 60
+	cfg.ItemCount = 500
+	cfg.InitialOrders = 40
+	cfg.OrderCapacity = 200
+	return cfg
+}
+
+type rig struct {
+	env *sim.Env
+	mgr *paging.Manager
+	db  *DB
+	qp  *rdma.QP
+}
+
+func newRig(t *testing.T, cfg Config, localFrac float64) *rig {
+	t.Helper()
+	env := sim.NewEnv(17)
+	node := memnode.New(8 << 30)
+	probeEnv := sim.NewEnv(17)
+	probe := New(probeEnv, paging.NewManager(probeEnv, paging.DefaultConfig(paging.PageSize)), memnode.New(8<<30), cfg)
+	local := int64(localFrac * float64(probe.TotalBytes()))
+	if local < 32*paging.PageSize {
+		local = 32 * paging.PageSize
+	}
+	mgr := paging.NewManager(env, paging.DefaultConfig(local))
+	db := New(env, mgr, node, cfg)
+	db.WarmCache()
+
+	nic := rdma.NewNIC(env, rdma.DefaultConfig())
+	cq := rdma.NewCQ("t")
+	qp := nic.CreateQP("t", cq)
+	cq.Notify = func() {
+		for _, c := range cq.Poll(64) {
+			mgr.Complete(c.Cookie.(*paging.Fetch))
+		}
+	}
+	rcq := rdma.NewCQ("reclaim")
+	mgr.StartReclaimer(nic.CreateQP("reclaim", rcq), rcq)
+	return &rig{env: env, mgr: mgr, db: db, qp: qp}
+}
+
+func (r *rig) run(t *testing.T, fn func(ctx workload.Ctx)) {
+	t.Helper()
+	r.env.Go("driver", func(p *sim.Proc) {
+		fn(&ctxThread{env: r.env, proc: p, mgr: r.mgr, qp: r.qp, gate: sim.NewGate(r.env)})
+	})
+	r.env.Run(sim.Seconds(600))
+}
+
+func TestNewOrderCreatesConsistentOrder(t *testing.T) {
+	r := newRig(t, smallConfig(), 0.3)
+	r.run(t, func(ctx workload.Ctx) {
+		db := r.db
+		lines := []NewOrderLine{{Item: 3, Qty: 2}, {Item: 77, Qty: 5}, {Item: 240, Qty: 1}}
+		before := db.get32(ctx, db.district, db.dOff(1, 4)+fDNextOID)
+		resp := db.NewOrder(ctx, NewOrderReq{W: 1, D: 4, C: 7, Lines: lines})
+		if resp.Aborted {
+			t.Error("unexpected abort")
+			return
+		}
+		if resp.OID != int32(before) {
+			t.Errorf("OID = %d, want %d", resp.OID, before)
+		}
+		after := db.get32(ctx, db.district, db.dOff(1, 4)+fDNextOID)
+		if after != before+1 {
+			t.Errorf("D_NEXT_O_ID = %d, want %d", after, before+1)
+		}
+		// Order record and lines match.
+		oOff := db.oOff(1, 4, int(resp.OID))
+		if got := db.get32(ctx, db.order, oOff+fOOLCnt); got != 3 {
+			t.Errorf("OL count = %d", got)
+		}
+		var sum uint64
+		for l := 0; l < 3; l++ {
+			olOff := db.olOff(1, 4, int(resp.OID), l)
+			if db.get32(ctx, db.orderLine, olOff+fOLItem) != lines[l].Item {
+				t.Errorf("line %d item mismatch", l)
+			}
+			sum += db.get64(ctx, db.orderLine, olOff+fOLAmount)
+		}
+		if sum != resp.TotalC {
+			t.Errorf("line sum %d != total %d", sum, resp.TotalC)
+		}
+		// The customer's last order is indexed for OrderStatus.
+		st := db.OrderStatus(ctx, OrderStatusReq{W: 1, D: 4, C: 7})
+		if !st.Found || st.OID != resp.OID || st.Lines != 3 {
+			t.Errorf("order status = %+v", st)
+		}
+	})
+}
+
+func TestInvalidNewOrderRollsBack(t *testing.T) {
+	r := newRig(t, smallConfig(), 0.3)
+	r.run(t, func(ctx workload.Ctx) {
+		db := r.db
+		before := db.get32(ctx, db.district, db.dOff(0, 0)+fDNextOID)
+		sBefore := db.get32(ctx, db.stock, db.sOff(0, 5)+fSQuantity)
+		resp := db.NewOrder(ctx, NewOrderReq{W: 0, D: 0, C: 1,
+			Lines: []NewOrderLine{{Item: 5, Qty: 3}}, Invalid: true})
+		if !resp.Aborted {
+			t.Error("invalid order did not abort")
+		}
+		if db.get32(ctx, db.district, db.dOff(0, 0)+fDNextOID) != before {
+			t.Error("D_NEXT_O_ID not rolled back")
+		}
+		if db.get32(ctx, db.stock, db.sOff(0, 5)+fSQuantity) != sBefore {
+			t.Error("stock modified by aborted transaction")
+		}
+	})
+	if r.db.Aborts.Value() != 1 {
+		t.Fatalf("aborts = %d", r.db.Aborts.Value())
+	}
+}
+
+func TestPaymentYTDInvariant(t *testing.T) {
+	// TPC-C consistency condition 1: W_YTD = sum(D_YTD) must hold after
+	// any number of Payments.
+	r := newRig(t, smallConfig(), 0.3)
+	r.run(t, func(ctx workload.Ctx) {
+		db := r.db
+		rng := sim.NewRNG(4)
+		var paid uint64
+		for i := 0; i < 50; i++ {
+			amt := uint64(100 + rng.Intn(100000))
+			paid += amt
+			db.Payment(ctx, PaymentReq{W: 0, D: rng.Intn(10), C: rng.Intn(60), AmountC: amt})
+		}
+		wYtd := db.get64(ctx, db.warehouse, db.wOff(0)+fWYtd)
+		var dSum uint64
+		for d := 0; d < 10; d++ {
+			dSum += db.get64(ctx, db.district, db.dOff(0, d)+fDYtd)
+		}
+		if wYtd != dSum {
+			t.Errorf("W_YTD %d != sum(D_YTD) %d", wYtd, dSum)
+		}
+		if wYtd != 300_000_000+paid {
+			t.Errorf("W_YTD %d != initial + payments %d", wYtd, 300_000_000+paid)
+		}
+	})
+}
+
+func TestPaymentUpdatesCustomer(t *testing.T) {
+	r := newRig(t, smallConfig(), 0.3)
+	r.run(t, func(ctx workload.Ctx) {
+		db := r.db
+		resp := db.Payment(ctx, PaymentReq{W: 1, D: 2, C: 3, AmountC: 5000})
+		if resp.BalanceC != -1000-5000 {
+			t.Errorf("balance = %d, want -6000", resp.BalanceC)
+		}
+		cOff := db.cOff(1, 2, 3)
+		if db.get32(ctx, db.customer, cOff+fCPaymentCnt) != 1 {
+			t.Error("payment count not incremented")
+		}
+	})
+}
+
+func TestDeliveryAdvancesAndPaysCustomer(t *testing.T) {
+	r := newRig(t, smallConfig(), 0.3)
+	r.run(t, func(ctx workload.Ctx) {
+		db := r.db
+		before := make([]int32, 10)
+		for d := 0; d < 10; d++ {
+			before[d] = db.nextDeliver[db.dIdx(0, d)]
+		}
+		resp := db.Delivery(ctx, DeliveryReq{W: 0, Carrier: 7})
+		if resp.Delivered != 10 {
+			t.Errorf("delivered = %d, want 10 (undelivered orders exist)", resp.Delivered)
+		}
+		for d := 0; d < 10; d++ {
+			dIdx := db.dIdx(0, d)
+			if db.nextDeliver[dIdx] != before[d]+1 {
+				t.Errorf("district %d delivery cursor did not advance", d)
+			}
+			oOff := db.oOff(0, d, int(before[d]))
+			if db.get32(ctx, db.order, oOff+fOCarrierID) != 7 {
+				t.Errorf("district %d order carrier not set", d)
+			}
+		}
+	})
+}
+
+func TestStockLevelCountsLowStock(t *testing.T) {
+	r := newRig(t, smallConfig(), 0.3)
+	r.run(t, func(ctx workload.Ctx) {
+		db := r.db
+		// Threshold above max initial quantity (100): every distinct item
+		// in the last 20 orders counts.
+		resp := db.StockLevel(ctx, StockLevelReq{W: 0, D: 0, Threshold: 101})
+		if resp.Low == 0 {
+			t.Error("expected low-stock items at threshold 101")
+		}
+		// Threshold 0: nothing can be below it.
+		resp = db.StockLevel(ctx, StockLevelReq{W: 0, D: 0, Threshold: 0})
+		if resp.Low != 0 {
+			t.Errorf("low = %d at threshold 0", resp.Low)
+		}
+	})
+}
+
+func TestConcurrentNewOrdersSerialize(t *testing.T) {
+	// Two simulated threads hammer the same district; the per-district
+	// lock must serialize order-id allocation (no duplicates, no gaps).
+	r := newRig(t, smallConfig(), 0.2)
+	db := r.db
+	seen := map[int32]bool{}
+	const perThread = 25
+	for i := 0; i < 2; i++ {
+		r.env.Go("txn", func(p *sim.Proc) {
+			ctx := &ctxThread{env: r.env, proc: p, mgr: r.mgr, qp: r.qp, gate: sim.NewGate(r.env)}
+			for n := 0; n < perThread; n++ {
+				resp := db.NewOrder(ctx, NewOrderReq{W: 0, D: 0, C: n,
+					Lines: []NewOrderLine{{Item: uint32(n), Qty: 1}, {Item: uint32(n + 100), Qty: 2}}})
+				if resp.Aborted {
+					t.Error("unexpected abort")
+					return
+				}
+				if seen[resp.OID] {
+					t.Errorf("duplicate order id %d", resp.OID)
+					return
+				}
+				seen[resp.OID] = true
+			}
+		})
+	}
+	r.env.Run(sim.Seconds(600))
+	if len(seen) != 2*perThread {
+		t.Fatalf("orders created = %d, want %d", len(seen), 2*perThread)
+	}
+	if db.Conflicts.Value() == 0 {
+		t.Log("note: no lock conflicts observed (acceptable, timing dependent)")
+	}
+}
+
+func TestRequestMixMatchesPaper(t *testing.T) {
+	env := sim.NewEnv(1)
+	cfg := smallConfig()
+	db := New(env, paging.NewManager(env, paging.DefaultConfig(64*paging.PageSize)), memnode.New(8<<30), cfg)
+	rng := sim.NewRNG(2)
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		payload, _ := db.NextRequest(rng)
+		counts[db.Classify(payload)]++
+	}
+	check := func(class string, want float64) {
+		got := float64(counts[class]) / n
+		if got < want-0.02 || got > want+0.02 {
+			t.Errorf("%s fraction = %.3f, want %.3f", class, got, want)
+		}
+	}
+	check("NewOrder", Mix.NewOrder)
+	check("Payment", Mix.Payment)
+	check("OrderStatus", Mix.OrderStatus)
+	check("Delivery", Mix.Delivery)
+	check("StockLevel", Mix.StockLevel)
+}
+
+func TestNURandInRange(t *testing.T) {
+	rng := sim.NewRNG(8)
+	for i := 0; i < 10000; i++ {
+		v := nurand(rng, 1023, 7, 0, 2999)
+		if v < 0 || v > 2999 {
+			t.Fatalf("nurand out of range: %d", v)
+		}
+	}
+	// NURand must be non-uniform: the top decile should be hit far less
+	// evenly than uniform... check basic skew by chi-square-lite: count
+	// hits in 10 buckets and require spread.
+	buckets := make([]int, 10)
+	for i := 0; i < 50000; i++ {
+		buckets[nurand(rng, 1023, 7, 0, 2999)/300]++
+	}
+	min, max := buckets[0], buckets[0]
+	for _, b := range buckets {
+		if b < min {
+			min = b
+		}
+		if b > max {
+			max = b
+		}
+	}
+	if max-min < 500 {
+		t.Errorf("NURand looks uniform: buckets %v", buckets)
+	}
+}
+
+func TestByNameLookupFindsMiddleCustomer(t *testing.T) {
+	r := newRig(t, smallConfig(), 0.3)
+	r.run(t, func(ctx workload.Ctx) {
+		db := r.db
+		// Find a last name with at least one holder among customers 0..59.
+		last := lastName(7)
+		resp := db.Payment(ctx, PaymentReq{W: 0, D: 1, ByName: true, LastName: last, AmountC: 100})
+		if db.NameMisses.Value() != 0 {
+			t.Error("by-name lookup missed an existing last name")
+			return
+		}
+		// The payment must have hit a customer whose lastName matches:
+		// verify via the index directly.
+		var matches []int
+		db.byName.Range(ctx, db.nameKey(db.dIdx(0, 1), last, 0), db.nameKey(db.dIdx(0, 1), last, 0xFFF),
+			func(k, v uint64) bool {
+				matches = append(matches, int(v)%db.cfg.CustomersPerDistrict)
+				return true
+			})
+		if len(matches) == 0 {
+			t.Error("index empty for existing last name")
+			return
+		}
+		mid := matches[len(matches)/2]
+		cOff := db.cOff(0, 1, mid)
+		if got := db.get32(ctx, db.customer, cOff+fCPaymentCnt); got != 1 {
+			t.Errorf("middle customer %d payment count = %d, want 1", mid, got)
+		}
+		_ = resp
+	})
+}
+
+func TestOrderStatusThroughIndexAfterNewOrder(t *testing.T) {
+	r := newRig(t, smallConfig(), 0.3)
+	r.run(t, func(ctx workload.Ctx) {
+		db := r.db
+		resp := db.NewOrder(ctx, NewOrderReq{W: 1, D: 2, C: 9,
+			Lines: []NewOrderLine{{Item: 1, Qty: 1}}})
+		if resp.Aborted {
+			t.Error("abort")
+			return
+		}
+		st := db.OrderStatus(ctx, OrderStatusReq{W: 1, D: 2, C: 9})
+		if !st.Found || st.OID != resp.OID {
+			t.Errorf("order status through byCust index = %+v, want OID %d", st, resp.OID)
+		}
+		// By-name OrderStatus for the same customer's last name resolves
+		// through both B+trees.
+		st2 := db.OrderStatus(ctx, OrderStatusReq{W: 1, D: 2, ByName: true, LastName: lastName(9)})
+		if db.NameMisses.Value() != 0 {
+			t.Error("name miss for existing customer")
+		}
+		_ = st2
+	})
+}
+
+func TestConcurrentNewOrdersKeepIndexConsistent(t *testing.T) {
+	// Multiple threads insert into byCust concurrently (different
+	// districts); the index must stay structurally sound and complete.
+	r := newRig(t, smallConfig(), 0.25)
+	db := r.db
+	type created struct {
+		c, d int
+		oid  int32
+	}
+	var all []created
+	for th := 0; th < 4; th++ {
+		th := th
+		r.env.Go("txn", func(p *sim.Proc) {
+			ctx := &ctxThread{env: r.env, proc: p, mgr: r.mgr, qp: r.qp, gate: sim.NewGate(r.env)}
+			for n := 0; n < 20; n++ {
+				c := th*10 + n%10
+				resp := db.NewOrder(ctx, NewOrderReq{W: 0, D: th, C: c,
+					Lines: []NewOrderLine{{Item: uint32(n), Qty: 1}}})
+				if resp.Aborted {
+					t.Error("abort")
+					return
+				}
+				all = append(all, created{c: c, d: th, oid: resp.OID})
+			}
+		})
+	}
+	r.env.Run(sim.Seconds(600))
+	// Verify the final index: every customer's recorded last order is
+	// the greatest oid created for it.
+	want := map[[2]int]int32{}
+	for _, cr := range all {
+		key := [2]int{cr.d, cr.c}
+		if cr.oid > want[key] {
+			want[key] = cr.oid
+		}
+	}
+	r.env.Go("verify", func(p *sim.Proc) {
+		ctx := &ctxThread{env: r.env, proc: p, mgr: r.mgr, qp: r.qp, gate: sim.NewGate(r.env)}
+		for key, oid := range want {
+			got, found := db.byCust.Lookup(ctx, uint64(db.cIdx(0, key[0], key[1])))
+			if !found || int32(got) != oid {
+				t.Errorf("byCust[%v] = %d,%v want %d", key, got, found, oid)
+				return
+			}
+		}
+	})
+	r.env.Run(sim.Seconds(1200))
+}

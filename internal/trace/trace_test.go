@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	r.Span(KindRun, 0, "x", 0, 10, nil)
+	r.Instant(KindFetch, 0, "y", 5)
+	if r.Len() != 0 {
+		t.Fatal("nil recorder recorded")
+	}
+	if err := r.WriteJSON(&strings.Builder{}, 1, 1); err == nil {
+		t.Fatal("nil recorder WriteJSON should error")
+	}
+}
+
+func TestSpanAndJSONShape(t *testing.T) {
+	r := New(0)
+	r.Span(KindRun, 3, "req 42", sim.Micros(10), sim.Micros(15),
+		map[string]any{"faults": 2})
+	r.Span(KindBusyWait, 3, "busy-wait fetch", sim.Micros(15), sim.Micros(18), nil)
+	r.Instant(KindFetch, 3, "fault", sim.Micros(15))
+	if r.Len() != 3 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	// 8 worker names + 1 dispatcher + reclaimer + 3 events.
+	if len(events) != 8+1+1+3 {
+		t.Fatalf("events = %d", len(events))
+	}
+	var run map[string]any
+	for _, e := range events {
+		if e["name"] == "req 42" {
+			run = e
+		}
+	}
+	if run == nil {
+		t.Fatal("run span missing")
+	}
+	if run["ph"] != "X" || run["ts"].(float64) != 10 || run["dur"].(float64) != 5 {
+		t.Fatalf("bad span: %v", run)
+	}
+	if run["args"].(map[string]any)["faults"].(float64) != 2 {
+		t.Fatal("args lost")
+	}
+}
+
+func TestRecorderBounded(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 100; i++ {
+		r.Span(KindRun, 0, "x", sim.Time(i), sim.Time(i+1), nil)
+	}
+	if r.Len() != 5 {
+		t.Fatalf("len = %d, want capped at 5", r.Len())
+	}
+}

@@ -1,0 +1,88 @@
+package unithread
+
+import "testing"
+
+func TestLayoutFigure4(t *testing.T) {
+	l := LayoutFor(DefaultBufSize, 1500)
+	if l.PayloadOff != 0 {
+		t.Fatal("payload must start at buffer head (Figure 4)")
+	}
+	if l.CtxOff != 1500 || l.StackOff != 1500+ContextSize {
+		t.Fatalf("layout = %+v", l)
+	}
+	if l.StackSize != DefaultBufSize-1500-ContextSize {
+		t.Fatalf("stack size = %d", l.StackSize)
+	}
+}
+
+func TestPoolAcquireReleaseAccounting(t *testing.T) {
+	p := NewPool(4, 4096)
+	if p.FootprintBytes() != 4*4096 {
+		t.Fatalf("footprint = %d", p.FootprintBytes())
+	}
+	var bufs []*Buffer
+	for i := 0; i < 4; i++ {
+		b, ok := p.Acquire()
+		if !ok {
+			t.Fatalf("acquire %d failed", i)
+		}
+		if len(b.Data) != 4096 {
+			t.Fatal("buffer not materialized")
+		}
+		bufs = append(bufs, b)
+	}
+	if _, ok := p.Acquire(); ok {
+		t.Fatal("acquire beyond capacity succeeded")
+	}
+	if p.Exhausted.Value() != 1 {
+		t.Fatalf("exhausted = %d", p.Exhausted.Value())
+	}
+	if p.InUse() != 4 || p.Peak() != 4 {
+		t.Fatalf("inUse=%d peak=%d", p.InUse(), p.Peak())
+	}
+	p.Release(bufs[0])
+	if p.InUse() != 3 || p.Peak() != 4 {
+		t.Fatal("release accounting wrong")
+	}
+	b, ok := p.Acquire()
+	if !ok || b != bufs[0] {
+		t.Fatal("released buffer not recycled")
+	}
+}
+
+func TestPoolFootprintComparison(t *testing.T) {
+	// The paper: a unithread needs one 4 KiB buffer per request where
+	// Shinjuku needs three (payload+context, user stack, exception
+	// stack) — a 66% reduction, ~1 GiB at the default pool size.
+	uni := NewPool(DefaultPoolSize, DefaultBufSize).FootprintBytes()
+	shinjuku := int64(DefaultPoolSize) * int64(3*DefaultBufSize)
+	saved := shinjuku - uni
+	if frac := float64(saved) / float64(shinjuku); frac < 0.66 || frac > 0.67 {
+		t.Fatalf("footprint reduction = %.2f, want ~0.66", frac)
+	}
+	if saved != 1<<30 {
+		t.Fatalf("saved bytes = %d, want 1 GiB", saved)
+	}
+}
+
+func TestReleaseGuards(t *testing.T) {
+	p, q := NewPool(1, 4096), NewPool(1, 4096)
+	b, _ := p.Acquire()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("foreign release not rejected")
+			}
+		}()
+		q.Release(b)
+	}()
+	p.Release(b)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double release not rejected")
+			}
+		}()
+		p.Release(b)
+	}()
+}

@@ -1,0 +1,103 @@
+// Package workload defines the execution contract between applications
+// and the MD scheduler: the context a request handler runs under, the
+// handler signature, and key-popularity generators. Application
+// substrates (kvs, sstable, tpcc, vecdb) implement Handler against Ctx;
+// the scheduler's unithread implements Ctx.
+package workload
+
+import (
+	"repro/internal/paging"
+	"repro/internal/sim"
+)
+
+// Ctx is the per-request execution context handed to application
+// handlers. It extends paging.Thread (so the handler's paged accesses
+// fault through the system under test) with explicit compute charging
+// and the cooperative-preemption probe.
+type Ctx interface {
+	paging.Thread
+
+	// Compute charges cycles of application CPU work on the current
+	// core.
+	Compute(cycles sim.Time)
+
+	// Probe is a Concord-style preemption probe: application code places
+	// it at loop boundaries. Under a preemptive scheduler it checks the
+	// quantum (and may switch away); otherwise it is free. Crucially, the
+	// busy-waiting page-fault path contains no probes — the paper's
+	// explanation for why preemption cannot mitigate busy-wait HOL
+	// blocking (§2.3).
+	Probe()
+
+	// Rand is the run's deterministic random source.
+	Rand() *sim.RNG
+
+	// CriticalEnter and CriticalExit bracket a critical section during
+	// which cooperative preemption is disabled (probe checks and IPI
+	// slicing are skipped). Preempting a lock holder parks it behind the
+	// central queue while every contender spins — the classic convoy
+	// collapse — so instrumented systems elide preemption points inside
+	// critical sections; applications mark them through this interface.
+	CriticalEnter()
+	CriticalExit()
+
+	// Block suspends the request until the wake function handed to
+	// enqueue is invoked, waiting per the system's policy: yielding the
+	// core under Adios, spinning under busy-wait systems. Applications
+	// use it to build synchronization (e.g. TPC-C's district locks) that
+	// cooperates with the scheduler instead of wedging a worker.
+	// enqueue must register wake somewhere a later event or thread will
+	// find it; wake may be invoked at most once and from any context.
+	Block(enqueue func(wake func()))
+}
+
+// Handler processes one request payload and returns the response payload
+// and its wire size in bytes.
+type Handler func(ctx Ctx, payload any) (resp any, respBytes int)
+
+// App is a runnable application: it generates request payloads (the load
+// generator side) and handles them (the compute node side).
+type App interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// NextRequest draws a request payload and its wire size.
+	NextRequest(rng *sim.RNG) (payload any, reqBytes int)
+	// Handler returns the request handler.
+	Handler() Handler
+}
+
+// KeyDist generates keys in [0, n) with a given popularity distribution.
+type KeyDist interface {
+	Next(rng *sim.RNG) int64
+	N() int64
+}
+
+// Uniform is a uniform key distribution over [0, n).
+type Uniform struct{ Keys int64 }
+
+// Next draws a uniform key.
+func (u Uniform) Next(rng *sim.RNG) int64 { return rng.Int63n(u.Keys) }
+
+// N returns the key-space size.
+func (u Uniform) N() int64 { return u.Keys }
+
+// Zipfian is a skewed key distribution with exponent S over [0, n).
+type Zipfian struct {
+	Keys int64
+	S    float64
+
+	z    interface{ Uint64() uint64 }
+	init bool
+}
+
+// Next draws a Zipf-distributed key (most popular keys are smallest).
+func (z *Zipfian) Next(rng *sim.RNG) int64 {
+	if !z.init {
+		z.z = rng.Zipf(z.S, uint64(z.Keys))
+		z.init = true
+	}
+	return int64(z.z.Uint64())
+}
+
+// N returns the key-space size.
+func (z *Zipfian) N() int64 { return z.Keys }
