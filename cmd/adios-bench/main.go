@@ -4,30 +4,44 @@
 //
 //	adios-bench -exp fig7a            # one experiment at full resolution
 //	adios-bench -exp all -short       # the whole suite, CI-sized
+//	adios-bench -exp all -parallel 8  # fan experiments and sweep points
 //	adios-bench -list                 # list experiment ids
 //
-// Experiment ids follow DESIGN.md's per-experiment index (table1, fig2a,
-// fig2b, fig2c, fig2d, fig7a, fig7c, fig7d, fig8, fig9, table2, fig10,
-// fig10e, fig11, fig11e, fig12, fig13, plus the abl-* ablations and the
-// infiniswap extension).
+// Experiment ids follow DESIGN.md's per-experiment index (table1, fig2a
+// … fig13, plus the abl-* ablations and the infiniswap extension); -list
+// prints them all.
+//
+// With -parallel N (default GOMAXPROCS), up to N simulations run
+// concurrently: the operating points inside each sweep fan out across
+// goroutines, and under -exp all whole experiments do too. Each point
+// still runs on its own deterministic simulator with a seed derived from
+// (-seed, experiment, system, load index), and results are reassembled
+// in order, so the printed tables and CSV rows are byte-identical to
+// -parallel 1 (only the "## … done in" wall-clock values differ).
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id, or 'all'")
+	exp := flag.String("exp", "", "experiment id, comma-separated ids, or 'all'")
 	short := flag.Bool("short", false, "reduced sweeps and dataset sizes")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	doPlot := flag.Bool("plot", false, "render ASCII charts of each sweep")
 	csvPath := flag.String("csv", "", "also write measured points as CSV to this file")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrently-running simulations (1 = sequential)")
 	flag.Parse()
 
 	if *list {
@@ -42,6 +56,8 @@ func main() {
 	}
 
 	opt := bench.Options{Short: *short, Out: os.Stdout, Seed: *seed, Plot: *doPlot}
+	opt.SetParallel(*parallel)
+	var csvFile *os.File
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
@@ -49,12 +65,21 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		fmt.Fprintln(f, "experiment,system,offered_KRPS,tput_KRPS,p50_us,p99_us,p999_us,link_util,drops")
-		opt.CSV = f
+		csvFile = f
 	}
-	ids := []string{*exp}
+	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
 		ids = bench.All()
+	}
+
+	if len(ids) > 1 && *parallel > 1 {
+		// Experiments buffer their own output; the CSV header is written
+		// once here rather than through EnableCSV's first-writer-wins.
+		runAllParallel(ids, opt, csvFile, *parallel)
+		return
+	}
+	if csvFile != nil {
+		opt.EnableCSV(csvFile)
 	}
 	for _, id := range ids {
 		start := time.Now()
@@ -63,5 +88,55 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("## %s done in %s\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// runAllParallel runs experiments concurrently, each writing its tables
+// and CSV rows to private buffers that are flushed to stdout and the CSV
+// file in experiment order, so the combined output matches a sequential
+// run. Points inside each experiment share opt's limiter, keeping total
+// simulation concurrency bounded by -parallel.
+func runAllParallel(ids []string, opt bench.Options, csvFile io.Writer, parallel int) {
+	type result struct {
+		out, csv bytes.Buffer
+		took     time.Duration
+		err      error
+	}
+	results := make([]result, len(ids))
+	expSem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		i, id := i, id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			expSem <- struct{}{}
+			defer func() { <-expSem }()
+			o := opt
+			o.Out = &results[i].out
+			if csvFile != nil {
+				o.CSV = &results[i].csv // headerless; written once below
+			}
+			start := time.Now()
+			results[i].err = bench.Run(id, o)
+			results[i].took = time.Since(start)
+		}()
+	}
+	wg.Wait()
+
+	if csvFile != nil {
+		fmt.Fprintln(csvFile, bench.CSVHeader)
+	}
+	for i, id := range ids {
+		r := &results[i]
+		if r.err != nil {
+			fmt.Fprintf(os.Stderr, "adios-bench: %v\n", r.err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(r.out.Bytes())
+		if csvFile != nil {
+			csvFile.Write(r.csv.Bytes())
+		}
+		fmt.Printf("## %s done in %s\n", id, r.took.Round(time.Millisecond))
 	}
 }

@@ -6,7 +6,6 @@ import (
 	"repro/internal/paging"
 	"repro/internal/sched"
 	"repro/internal/sim"
-	"repro/internal/sstable"
 	"repro/internal/workload"
 )
 
@@ -22,23 +21,7 @@ import (
 // on the random GETs.
 func AblPrefetch(opt Options) map[string][]Point {
 	loads := opt.loads([]float64{300, 500, 700})
-	mk := func(mut mutator) builder {
-		cfg := sstable.DefaultConfig(sstableKeys(opt.Short), 1024)
-		var size int64
-		return buildPreset(0.20, mut,
-			func(sys *core.System) workload.App {
-				tab := sstable.New(sys.Mgr, sys.Node, cfg)
-				tab.WarmCache()
-				size = tab.SpaceSize()
-				return tab
-			}, func() int64 {
-				if size == 0 {
-					probe := core.NewSystem(core.Preset(core.Adios, 1<<22))
-					size = sstable.New(probe.Mgr, probe.Node, cfg).SpaceSize()
-				}
-				return size
-			})
-	}
+	mk := func(mut mutator) builder { return sstableBuilder(opt, mut) }
 	off := opt.sweep(mk(nil), []core.Mode{core.Adios}, loads)
 	seq := opt.sweep(mk(func(c *core.Config) { c.Paging.Prefetch = 8 }), []core.Mode{core.Adios}, loads)
 	leap := opt.sweep(mk(func(c *core.Config) { c.Paging.PrefetchPolicy = paging.Leap }), []core.Mode{core.Adios}, loads)
@@ -128,8 +111,8 @@ func AblWorkers(opt Options) []Point {
 	}
 	opt.printf("\n# Ablation: worker scaling against one dispatcher (compute-bound)\n")
 	opt.printf("%8s %9s %9s %10s\n", "workers", "offered_K", "tput_K", "p99.9_us")
-	var out []Point
-	for _, n := range counts {
+	specs := make([]pointSpec, 0, len(counts))
+	for i, n := range counts {
 		n := n
 		b := buildPreset(1.0, func(c *core.Config) { c.Sched.Workers = n },
 			func(sys *core.System) workload.App {
@@ -137,10 +120,14 @@ func AblWorkers(opt Options) []Point {
 			}, func() int64 { return 64 * paging.PageSize })
 		// Offer load proportional to workers so each point probes its
 		// configuration's capacity region.
-		load := float64(n) * 420_000
-		pt := opt.runPoint(b, core.Adios, load)
-		out = append(out, pt)
-		opt.printf("%8d %9.0f %9.0f %10.1f\n", n, pt.OfferedK, pt.TputK, pt.P999us)
+		specs = append(specs, pointSpec{
+			b: b, mode: core.Adios, rps: float64(n) * 420_000,
+			seed: pointSeed(opt.seed(), opt.exp, core.Adios.String(), i),
+		})
+	}
+	out := opt.runPoints(specs)
+	for i, pt := range out {
+		opt.printf("%8d %9.0f %9.0f %10.1f\n", counts[i], pt.OfferedK, pt.TputK, pt.P999us)
 	}
 	return out
 }
@@ -174,12 +161,18 @@ func AblPool(opt Options) []Point {
 	}
 	opt.printf("\n# Ablation: unithread pool size (Adios, microbenchmark, 2.5 MRPS)\n")
 	opt.printf("%10s %9s %9s %10s %9s\n", "pool", "offered_K", "tput_K", "p99.9_us", "drops")
-	var out []Point
-	for _, n := range sizes {
-		b := microBuilder(0.20, func(c *core.Config) { c.PoolSize = n })
-		pt := opt.runPoint(b, core.Adios, 2_500_000)
-		out = append(out, pt)
-		opt.printf("%10d %9.0f %9.0f %10.1f %9d\n", n, pt.OfferedK, pt.TputK, pt.P999us, pt.Drops)
+	specs := make([]pointSpec, 0, len(sizes))
+	for i, n := range sizes {
+		n := n
+		specs = append(specs, pointSpec{
+			b: microBuilder(0.20, func(c *core.Config) { c.PoolSize = n }),
+			mode: core.Adios, rps: 2_500_000,
+			seed: pointSeed(opt.seed(), opt.exp, core.Adios.String(), i),
+		})
+	}
+	out := opt.runPoints(specs)
+	for i, pt := range out {
+		opt.printf("%10d %9.0f %9.0f %10.1f %9d\n", sizes[i], pt.OfferedK, pt.TputK, pt.P999us, pt.Drops)
 	}
 	return out
 }

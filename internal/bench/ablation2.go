@@ -173,9 +173,12 @@ func AblMultiDispatch(opt Options) map[string][]Point {
 	series := make(map[string][]Point)
 	opt.printf("\n# Ablation: dispatcher scaling (Adios, compute-bound)\n")
 	opt.printf("%12s %8s %9s %9s %10s\n", "dispatchers", "workers", "offered_K", "tput_K", "p99.9_us")
+	var specs []pointSpec
+	type rowKey struct{ nd, nw int }
+	var rows []rowKey
 	for _, nd := range []int{1, 2} {
 		nd := nd
-		for _, nw := range workers {
+		for i, nw := range workers {
 			nw := nw
 			b := buildPreset(1.0, func(c *core.Config) {
 				c.Sched.Workers = nw
@@ -183,11 +186,17 @@ func AblMultiDispatch(opt Options) map[string][]Point {
 			}, func(sys *core.System) workload.App {
 				return newComputeApp(sys.Mgr, sys.Node)
 			}, func() int64 { return 64 * paging.PageSize })
-			pt := opt.runPoint(b, core.Adios, float64(nw)*420_000)
-			key := "dispatchers=" + itoa(nd)
-			series[key] = append(series[key], pt)
-			opt.printf("%12d %8d %9.0f %9.0f %10.1f\n", nd, nw, pt.OfferedK, pt.TputK, pt.P999us)
+			specs = append(specs, pointSpec{
+				b: b, mode: core.Adios, rps: float64(nw) * 420_000,
+				seed: pointSeed(opt.seed(), opt.exp, "d"+itoa(nd), i),
+			})
+			rows = append(rows, rowKey{nd, nw})
 		}
+	}
+	for i, pt := range opt.runPoints(specs) {
+		key := "dispatchers=" + itoa(rows[i].nd)
+		series[key] = append(series[key], pt)
+		opt.printf("%12d %8d %9.0f %9.0f %10.1f\n", rows[i].nd, rows[i].nw, pt.OfferedK, pt.TputK, pt.P999us)
 	}
 	return series
 }

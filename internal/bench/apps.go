@@ -59,57 +59,41 @@ func vecdbN(short bool) int {
 // size at 20 % local memory.
 func memcachedBuilder(opt Options, valueSize int, mut mutator) builder {
 	cfg := kvs.DefaultConfig(memcachedKeys(opt.Short, valueSize), valueSize)
-	var size int64
+	// Compute the footprint once with a throwaway build; doing it eagerly
+	// (not lazily on first build) keeps the builder safe to call from
+	// concurrent sweep points.
+	probe := core.NewSystem(core.Preset(core.Adios, 1<<22))
+	size := kvs.New(probe.Mgr, probe.Node, cfg).SpaceSize()
 	return buildPreset(0.20, mut, func(sys *core.System) workload.App {
 		s := kvs.New(sys.Mgr, sys.Node, cfg)
 		s.WarmCache()
-		size = s.SpaceSize()
 		return s
-	}, func() int64 {
-		if size == 0 {
-			// Compute the footprint once with a throwaway build.
-			probe := core.NewSystem(core.Preset(core.Adios, 1<<22))
-			size = kvs.New(probe.Mgr, probe.Node, cfg).SpaceSize()
-		}
-		return size
-	})
+	}, func() int64 { return size })
 }
 
 // sstableBuilder builds the RocksDB workload (99 % GET / 1 % SCAN(100),
 // 1 KiB values) at 20 % local memory.
 func sstableBuilder(opt Options, mut mutator) builder {
 	cfg := sstable.DefaultConfig(sstableKeys(opt.Short), 1024)
-	var size int64
+	probe := core.NewSystem(core.Preset(core.Adios, 1<<22))
+	size := sstable.New(probe.Mgr, probe.Node, cfg).SpaceSize()
 	return buildPreset(0.20, mut, func(sys *core.System) workload.App {
 		tab := sstable.New(sys.Mgr, sys.Node, cfg)
 		tab.WarmCache()
-		size = tab.SpaceSize()
 		return tab
-	}, func() int64 {
-		if size == 0 {
-			probe := core.NewSystem(core.Preset(core.Adios, 1<<22))
-			size = sstable.New(probe.Mgr, probe.Node, cfg).SpaceSize()
-		}
-		return size
-	})
+	}, func() int64 { return size })
 }
 
 // tpccBuilder builds the Silo/TPC-C workload at 20 % local memory.
 func tpccBuilder(opt Options, mut mutator) builder {
 	cfg := tpccConfig(opt.Short)
-	var size int64
+	probe := core.NewSystem(core.Preset(core.Adios, 1<<22))
+	size := tpcc.New(probe.Env, probe.Mgr, probe.Node, cfg).TotalBytes()
 	return buildPreset(0.20, mut, func(sys *core.System) workload.App {
 		db := tpcc.New(sys.Env, sys.Mgr, sys.Node, cfg)
 		db.WarmCache()
-		size = db.TotalBytes()
 		return db
-	}, func() int64 {
-		if size == 0 {
-			probe := core.NewSystem(core.Preset(core.Adios, 1<<22))
-			size = tpcc.New(probe.Env, probe.Mgr, probe.Node, cfg).TotalBytes()
-		}
-		return size
-	})
+	}, func() int64 { return size })
 }
 
 // vecdbBuilder builds the Faiss/BIGANN-like workload at 20 % local

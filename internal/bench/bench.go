@@ -10,6 +10,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/plot"
@@ -30,10 +31,53 @@ type Options struct {
 	Plot bool
 	// CSV, if non-nil, receives every measured point as CSV rows
 	// (experiment, system, offered/tput KRPS, percentiles, utilization,
-	// drops) for external plotting.
+	// drops) for external plotting; see CSVHeader for the schema. When
+	// installed via EnableCSV the header row is emitted once before the
+	// first data row.
 	CSV io.Writer
 	// Seed for all runs.
 	Seed int64
+	// Parallel is the maximum number of simulations run concurrently
+	// (measured operating points; each builds its own core.System and
+	// sim.Env, so points are independent). 0 or 1 runs sequentially.
+	// Results are reassembled in deterministic order, so tables, CSV
+	// rows, and returned Point slices are identical to a sequential run.
+	// Prefer SetParallel, which also installs the shared limiter.
+	Parallel int
+
+	// sem bounds concurrently-running simulations across every sweep
+	// sharing these Options (including copies — channels are references),
+	// so experiment-level and point-level fan-out together stay ≤
+	// Parallel. Created by SetParallel; runPoints falls back to a local
+	// limiter when nil.
+	sem chan struct{}
+	// exp is the experiment id being run, set by Run; it salts per-point
+	// seeds so different experiments draw independent random streams.
+	exp string
+	// csvHeader emits the CSV header once across all Options copies.
+	csvHeader *sync.Once
+}
+
+// CSVHeader is the schema of the CSV rows emitted by every experiment;
+// see EXPERIMENTS.md for the column descriptions.
+const CSVHeader = "experiment,system,offered_KRPS,tput_KRPS,p50_us,p99_us,p999_us,link_util,drops"
+
+// EnableCSV directs measured points to w as CSV rows and arranges for
+// the CSVHeader row to be written once before the first data row.
+func (o *Options) EnableCSV(w io.Writer) {
+	o.CSV = w
+	o.csvHeader = new(sync.Once)
+}
+
+// SetParallel allows up to n concurrent simulations and installs the
+// shared limiter so nested fan-out (experiments × points) stays bounded
+// by n overall.
+func (o *Options) SetParallel(n int) {
+	if n < 1 {
+		n = 1
+	}
+	o.Parallel = n
+	o.sem = make(chan struct{}, n)
 }
 
 // DefaultOptions returns full-resolution options writing to w.
@@ -111,9 +155,80 @@ func buildPreset(localFrac float64, mut mutator,
 	}
 }
 
-// runPoint measures one (mode, load) operating point.
+// pointSpec names one (builder, mode, load) operating point of a sweep
+// plus the seed its simulation runs under.
+type pointSpec struct {
+	b    builder
+	mode core.Mode
+	rps  float64
+	seed int64
+}
+
+// pointSeed derives a per-point seed from the base seed, the experiment
+// id, the mode, and the point's load index, so every operating point
+// draws an independent random stream and parallel execution order cannot
+// matter. The mix is FNV-1a over the strings followed by a splitmix64
+// finalizer.
+func pointSeed(base int64, exp, mode string, idx int) int64 {
+	h := uint64(base) ^ 0x9e3779b97f4a7c15
+	for _, s := range [2]string{exp, mode} {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * 0x100000001b3
+		}
+		h *= 0x9e3779b97f4a7c15
+	}
+	h += uint64(idx)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	s := int64(h >> 1)
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// runPoints measures every spec and returns the results in spec order.
+// With Parallel > 1 the points run concurrently, each on its own
+// core.System and sim.Env; the ordered reassembly plus per-spec seeds
+// make the output bit-identical to a sequential run.
+func (o *Options) runPoints(specs []pointSpec) []Point {
+	pts := make([]Point, len(specs))
+	if o.Parallel <= 1 || len(specs) <= 1 {
+		for i, sp := range specs {
+			pts[i] = o.runPointSeeded(sp.b, sp.mode, sp.rps, sp.seed)
+		}
+		return pts
+	}
+	sem := o.sem
+	if sem == nil {
+		sem = make(chan struct{}, o.Parallel)
+	}
+	var wg sync.WaitGroup
+	for i := range specs {
+		i, sp := i, specs[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pts[i] = o.runPointSeeded(sp.b, sp.mode, sp.rps, sp.seed)
+		}()
+	}
+	wg.Wait()
+	return pts
+}
+
+// runPoint measures one (mode, load) operating point under the base seed.
 func (o *Options) runPoint(b builder, mode core.Mode, rps float64) Point {
-	sys, app := b(mode, o.seed())
+	return o.runPointSeeded(b, mode, rps, o.seed())
+}
+
+// runPointSeeded measures one (mode, load) operating point.
+func (o *Options) runPointSeeded(b builder, mode core.Mode, rps float64, seed int64) Point {
+	sys, app := b(mode, seed)
 	warm, meas := o.windows(rps)
 	res := sys.Run(app, rps, warm, meas)
 	pt := Point{
@@ -147,14 +262,22 @@ func (o *Options) seed() int64 {
 	return o.Seed
 }
 
-// sweep measures a list of offered loads for each mode.
+// sweep measures a list of offered loads for each mode, fanning the
+// points across goroutines when Options.Parallel allows.
 func (o *Options) sweep(b builder, modes []core.Mode, loadsK []float64) map[string][]Point {
-	out := make(map[string][]Point)
+	specs := make([]pointSpec, 0, len(modes)*len(loadsK))
 	for _, m := range modes {
-		for _, k := range loadsK {
-			pt := o.runPoint(b, m, k*1000)
-			out[m.String()] = append(out[m.String()], pt)
+		for i, k := range loadsK {
+			specs = append(specs, pointSpec{
+				b: b, mode: m, rps: k * 1000,
+				seed: pointSeed(o.seed(), o.exp, m.String(), i),
+			})
 		}
+	}
+	pts := o.runPoints(specs)
+	out := make(map[string][]Point)
+	for i, sp := range specs {
+		out[sp.mode.String()] = append(out[sp.mode.String()], pts[i])
 	}
 	return out
 }
@@ -184,10 +307,14 @@ func (o *Options) printSweep(title string, series map[string][]Point) {
 	}
 }
 
-// emitCSV appends the sweep's points to the CSV sink.
+// emitCSV appends the sweep's points to the CSV sink, preceded by the
+// CSVHeader row the first time any Options copy writes a row.
 func (o *Options) emitCSV(title string, series map[string][]Point) {
 	if o.CSV == nil {
 		return
+	}
+	if o.csvHeader != nil {
+		o.csvHeader.Do(func() { fmt.Fprintln(o.CSV, CSVHeader) })
 	}
 	slug := title
 	if i := strings.IndexAny(slug, ":"); i > 0 {
@@ -258,86 +385,67 @@ func (o *Options) loads(full []float64) []float64 {
 	return out
 }
 
+// experiments maps every accepted id to its implementation. Aliases for
+// figures that share one generating run (fig2d/fig2e, fig7a/fig7b,
+// fig7d/fig7e) each have their own entry; the tests assert this map and
+// All agree exactly.
+var experiments = map[string]func(Options){
+	"table1": func(o Options) { Table1(o) },
+	"fig2a":  func(o Options) { Fig2a(o) },
+	"fig2b":  func(o Options) { Fig2b(o) },
+	"fig2c":  func(o Options) { Fig2c(o) },
+	"fig2d":  func(o Options) { Fig2de(o) },
+	"fig2e":  func(o Options) { Fig2de(o) },
+	"fig7a":  func(o Options) { Fig7ab(o) },
+	"fig7b":  func(o Options) { Fig7ab(o) },
+	"fig7c":  func(o Options) { Fig7c(o) },
+	"fig7d":  func(o Options) { Fig7de(o) },
+	"fig7e":  func(o Options) { Fig7de(o) },
+	"fig8":   func(o Options) { Fig8(o) },
+	"fig9":   func(o Options) { Fig9(o) },
+	"table2": func(o Options) { Table2(o) },
+	"fig10":  func(o Options) { Fig10(o) },
+	"fig10e": func(o Options) { Fig10e(o) },
+	"fig11":  func(o Options) { Fig11(o) },
+	"fig11e": func(o Options) { Fig11e(o) },
+	"fig12":  func(o Options) { Fig12(o) },
+	"fig13":  func(o Options) { Fig13(o) },
+
+	"abl-prefetch":  func(o Options) { AblPrefetch(o) },
+	"abl-reclaim":   func(o Options) { AblReclaim(o) },
+	"abl-compute":   func(o Options) { AblCompute(o) },
+	"abl-workers":   func(o Options) { AblWorkers(o) },
+	"abl-quantum":   func(o Options) { AblQuantum(o) },
+	"abl-pool":      func(o Options) { AblPool(o) },
+	"abl-twosided":  func(o Options) { AblTwoSided(o) },
+	"abl-steal":     func(o Options) { AblSteal(o) },
+	"abl-ipi":       func(o Options) { AblIPI(o) },
+	"abl-evict":     func(o Options) { AblEvict(o) },
+	"abl-hugepage":  func(o Options) { AblHugePage(o) },
+	"abl-canvas":    func(o Options) { AblCanvas(o) },
+	"abl-multidisp": func(o Options) { AblMultiDispatch(o) },
+	"abl-transport": func(o Options) { AblTransport(o) },
+	"infiniswap":    func(o Options) { Infiniswap(o) },
+}
+
 // Run executes the experiment with the given id. Returns an error for
 // unknown ids. Results are printed to opt.Out.
 func Run(id string, opt Options) error {
-	switch id {
-	case "table1":
-		Table1(opt)
-	case "fig2a":
-		Fig2a(opt)
-	case "fig2b":
-		Fig2b(opt)
-	case "fig2c":
-		Fig2c(opt)
-	case "fig2d", "fig2e":
-		Fig2de(opt)
-	case "fig7a", "fig7b":
-		Fig7ab(opt)
-	case "fig7c":
-		Fig7c(opt)
-	case "fig7d", "fig7e":
-		Fig7de(opt)
-	case "fig8":
-		Fig8(opt)
-	case "fig9":
-		Fig9(opt)
-	case "table2":
-		Table2(opt)
-	case "fig10":
-		Fig10(opt)
-	case "fig10e":
-		Fig10e(opt)
-	case "fig11":
-		Fig11(opt)
-	case "fig11e":
-		Fig11e(opt)
-	case "fig12":
-		Fig12(opt)
-	case "fig13":
-		Fig13(opt)
-	case "abl-prefetch":
-		AblPrefetch(opt)
-	case "abl-reclaim":
-		AblReclaim(opt)
-	case "abl-compute":
-		AblCompute(opt)
-	case "abl-workers":
-		AblWorkers(opt)
-	case "abl-quantum":
-		AblQuantum(opt)
-	case "abl-pool":
-		AblPool(opt)
-	case "abl-twosided":
-		AblTwoSided(opt)
-	case "abl-steal":
-		AblSteal(opt)
-	case "abl-ipi":
-		AblIPI(opt)
-	case "abl-evict":
-		AblEvict(opt)
-	case "abl-hugepage":
-		AblHugePage(opt)
-	case "abl-canvas":
-		AblCanvas(opt)
-	case "abl-multidisp":
-		AblMultiDispatch(opt)
-	case "abl-transport":
-		AblTransport(opt)
-	case "infiniswap":
-		Infiniswap(opt)
-	default:
+	fn, ok := experiments[id]
+	if !ok {
 		return fmt.Errorf("bench: unknown experiment %q", id)
 	}
+	opt.exp = id
+	fn(opt)
 	return nil
 }
 
-// All lists every experiment id in DESIGN.md order.
+// All lists every experiment id Run accepts, in DESIGN.md order.
 func All() []string {
 	return []string{
-		"table1", "fig2a", "fig2b", "fig2c", "fig2d", "fig7a", "fig7c",
-		"fig7d", "fig8", "fig9", "table2", "fig10", "fig10e", "fig11",
-		"fig11e", "fig12", "fig13",
+		"table1", "fig2a", "fig2b", "fig2c", "fig2d", "fig2e",
+		"fig7a", "fig7b", "fig7c", "fig7d", "fig7e", "fig8", "fig9",
+		"table2", "fig10", "fig10e", "fig11", "fig11e", "fig12", "fig13",
 		"abl-prefetch", "abl-reclaim", "abl-compute", "abl-workers",
 		"abl-quantum", "abl-pool", "abl-twosided", "abl-steal",
 		"abl-ipi", "abl-evict", "abl-hugepage", "abl-canvas",

@@ -235,17 +235,24 @@ func Fig8(opt Options) map[string][]Point {
 	out := make(map[string][]Point)
 	opt.printf("\n# Figure 8: P99 vs throughput across local-DRAM sizes\n")
 	opt.printf("%-11s %7s %9s %9s %10s %6s\n", "system", "local%", "offered_K", "tput_K", "p99_us", "util%")
+	var specs []pointSpec
+	var fracs []float64
 	for _, frac := range locals {
 		b := microBuilder(frac, nil)
 		for _, mode := range []core.Mode{core.DiLOS, core.Adios} {
-			for _, k := range loads {
-				pt := opt.runPoint(b, mode, k*1000)
-				key := pt.Mode
-				out[key] = append(out[key], pt)
-				opt.printf("%-11s %7.0f %9.0f %9.0f %10.1f %6.1f\n",
-					pt.Mode, frac*100, pt.OfferedK, pt.TputK, pt.P99us, pt.LinkUtil*100)
+			for i, k := range loads {
+				specs = append(specs, pointSpec{
+					b: b, mode: mode, rps: k * 1000,
+					seed: pointSeed(opt.seed(), opt.exp, mode.String(), i),
+				})
+				fracs = append(fracs, frac)
 			}
 		}
+	}
+	for i, pt := range opt.runPoints(specs) {
+		out[pt.Mode] = append(out[pt.Mode], pt)
+		opt.printf("%-11s %7.0f %9.0f %9.0f %10.1f %6.1f\n",
+			pt.Mode, fracs[i]*100, pt.OfferedK, pt.TputK, pt.P99us, pt.LinkUtil*100)
 	}
 	return out
 }

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// miniSweep runs the fig7a-style microbenchmark sweep (same builder and
+// mode set, a trimmed load list so the test stays fast) under the given
+// parallelism and returns the points plus the rendered table and CSV.
+func miniSweep(t testing.TB, parallel int) (map[string][]Point, string, string) {
+	t.Helper()
+	var tbl, csv bytes.Buffer
+	opt := Options{Short: true, Seed: 1, Out: &tbl, exp: "fig7a"}
+	opt.EnableCSV(&csv)
+	opt.SetParallel(parallel)
+	series := opt.sweep(microBuilder(0.20, nil),
+		[]core.Mode{core.DiLOS, core.Adios}, []float64{200, 700})
+	opt.printSweep("mini fig7a", series)
+	return series, tbl.String(), csv.String()
+}
+
+// TestSweepParallelDeterministic is the determinism regression test for
+// the parallel runner: a sweep fanned across 4 goroutines must yield
+// Point slices, printed tables, and CSV rows byte-identical to the
+// sequential run.
+func TestSweepParallelDeterministic(t *testing.T) {
+	seqPts, seqTbl, seqCSV := miniSweep(t, 1)
+	parPts, parTbl, parCSV := miniSweep(t, 4)
+	if !reflect.DeepEqual(seqPts, parPts) {
+		t.Fatalf("parallel sweep points differ from sequential:\nseq: %+v\npar: %+v", seqPts, parPts)
+	}
+	if seqTbl != parTbl {
+		t.Fatalf("parallel table differs from sequential:\nseq:\n%s\npar:\n%s", seqTbl, parTbl)
+	}
+	if seqCSV != parCSV {
+		t.Fatalf("parallel CSV differs from sequential:\nseq:\n%s\npar:\n%s", seqCSV, parCSV)
+	}
+	if !strings.HasPrefix(seqCSV, CSVHeader+"\n") {
+		t.Fatalf("CSV output missing header row:\n%s", seqCSV)
+	}
+	if strings.Count(seqCSV, CSVHeader) != 1 {
+		t.Fatalf("CSV header emitted more than once:\n%s", seqCSV)
+	}
+}
+
+// TestPointSeedsIndependent asserts the per-point seed derivation keys
+// on every component: experiment, mode, and load index.
+func TestPointSeedsIndependent(t *testing.T) {
+	base := pointSeed(1, "fig7a", "Adios", 0)
+	for name, other := range map[string]int64{
+		"experiment": pointSeed(1, "fig7b", "Adios", 0),
+		"mode":       pointSeed(1, "fig7a", "DiLOS", 0),
+		"load index": pointSeed(1, "fig7a", "Adios", 1),
+		"base seed":  pointSeed(2, "fig7a", "Adios", 0),
+	} {
+		if other == base {
+			t.Fatalf("changing %s did not change the derived seed", name)
+		}
+	}
+	if pointSeed(1, "fig7a", "Adios", 0) != base {
+		t.Fatal("pointSeed is not deterministic")
+	}
+}
+
+// TestAllCoversRunSwitch asserts All() and Run's dispatch table agree
+// exactly: every listed id runs, and every runnable id is listed (the
+// fig2e/fig7b/fig7e aliases used to be missing from All).
+func TestAllCoversRunSwitch(t *testing.T) {
+	ids := All()
+	seen := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("All() lists %q twice", id)
+		}
+		seen[id] = true
+		if _, ok := experiments[id]; !ok {
+			t.Errorf("All() lists %q but Run does not accept it", id)
+		}
+	}
+	for id := range experiments {
+		if !seen[id] {
+			t.Errorf("Run accepts %q but All() does not list it", id)
+		}
+	}
+	for _, alias := range []string{"fig2e", "fig7b", "fig7e"} {
+		if !seen[alias] {
+			t.Errorf("alias %q missing from All()", alias)
+		}
+	}
+}
+
+// TestCSVHeaderOnceAcrossExperiments asserts the header appears exactly
+// once even when several experiments share one CSV sink via copies of
+// the same Options.
+func TestCSVHeaderOnceAcrossExperiments(t *testing.T) {
+	var csv bytes.Buffer
+	opt := Options{Short: true, Seed: 1}
+	opt.EnableCSV(&csv)
+	series := map[string][]Point{"Adios": {{Mode: "Adios", OfferedK: 1}}}
+	o1, o2 := opt, opt // experiment-style copies share the header state
+	o1.emitCSV("a", series)
+	o2.emitCSV("b", series)
+	out := csv.String()
+	if strings.Count(out, CSVHeader) != 1 {
+		t.Fatalf("want exactly one header row, got:\n%s", out)
+	}
+	if !strings.HasPrefix(out, CSVHeader+"\n") {
+		t.Fatalf("header is not the first row:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != 3 {
+		t.Fatalf("want header + 2 data rows, got %d lines:\n%s", got, out)
+	}
+}
+
+// BenchmarkSweepParallel measures a fixed 4-point microbenchmark sweep
+// under increasing parallelism; on a multicore host the wall-clock per
+// op drops roughly linearly until the core count binds.
+func BenchmarkSweepParallel(b *testing.B) {
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := Options{Short: true, Seed: 1, exp: "fig7a"}
+				opt.SetParallel(par)
+				opt.sweep(microBuilder(0.20, nil),
+					[]core.Mode{core.DiLOS, core.Adios}, []float64{200, 700})
+			}
+		})
+	}
+}

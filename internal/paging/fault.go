@@ -24,6 +24,34 @@ type Fetch struct {
 // Writeback reports whether this record is an eviction write-back.
 func (f *Fetch) Writeback() bool { return f.writeback }
 
+// newFetch takes a Fetch from the manager's free list (or allocates one)
+// and initializes it. Recycled records keep their waiters backing array.
+func (m *Manager) newFetch(s *Space, vpn int64, frame int32, writeback, demand bool) *Fetch {
+	var f *Fetch
+	if n := len(m.freeFetches); n > 0 {
+		f = m.freeFetches[n-1]
+		m.freeFetches[n-1] = nil
+		m.freeFetches = m.freeFetches[:n-1]
+	} else {
+		f = &Fetch{}
+	}
+	f.Space, f.VPN = s, vpn
+	f.frame, f.writeback, f.demand = frame, writeback, demand
+	f.issuedAt = int64(m.env.Now())
+	return f
+}
+
+// recycleFetch returns a finished Fetch to the free list. The caller must
+// guarantee no reference survives (PTE cleared, completion consumed).
+func (m *Manager) recycleFetch(f *Fetch) {
+	for i := range f.waiters {
+		f.waiters[i] = nil // drop closure references, keep the array
+	}
+	f.waiters = f.waiters[:0]
+	f.Space = nil
+	m.freeFetches = append(m.freeFetches, f)
+}
+
 // RequestPage drives one step of the fault state machine for (s, vpn)
 // under thread t. It returns true if the page is already resident (the
 // access can proceed). Otherwise it arranges for onReady to be invoked
@@ -69,7 +97,7 @@ func (m *Manager) RequestPage(t Thread, s *Space, vpn int64, onReady func(), dem
 			m.freeFrame(fr)
 			return m.RequestPage(t, s, vpn, onReady, false)
 		}
-		f := &Fetch{Space: s, VPN: vpn, frame: fr, demand: demand, issuedAt: int64(m.env.Now())}
+		f := m.newFetch(s, vpn, fr, false, demand)
 		f.waiters = append(f.waiters, onReady)
 		m.startFetch(t, f)
 		m.fetchSpan(t, s, vpn)
@@ -123,7 +151,7 @@ func (m *Manager) issueAsync(t Thread, s *Space, vpn int64) bool {
 	if !ok {
 		return false
 	}
-	f := &Fetch{Space: s, VPN: vpn, frame: fr, issuedAt: int64(m.env.Now())}
+	f := m.newFetch(s, vpn, fr, false, false)
 	e := &s.ptes[vpn]
 	e.state = pageFetching
 	e.fetch = f
@@ -133,6 +161,7 @@ func (m *Manager) issueAsync(t Thread, s *Space, vpn int64) bool {
 		// QP filled up between the check and the post; undo.
 		e.state, e.fetch = pageAbsent, nil
 		m.freeFrame(fr)
+		m.recycleFetch(f)
 		return false
 	}
 	return true
@@ -224,7 +253,7 @@ func (m *Manager) Complete(f *Fetch) {
 	for _, w := range f.waiters {
 		w()
 	}
-	f.waiters = nil
+	m.recycleFetch(f)
 }
 
 // FetchLatency returns how long the fetch has been in flight at time

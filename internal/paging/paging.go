@@ -151,6 +151,13 @@ type Manager struct {
 	frameWaiters []*sim.Proc
 	reclaimGate  *sim.Gate
 
+	// freeFetches recycles Fetch records. Every demand fault, prefetch,
+	// and write-back allocates one; Complete is their single terminal
+	// point (it clears the PTE's reference and the RDMA completion cookie
+	// is consumed), so recycling there makes the fault path allocation-free
+	// in steady state.
+	freeFetches []*Fetch
+
 	// Counters for experiments and tests.
 	Faults          stats.Counter // demand faults (misses)
 	Hits            stats.Counter // resident accesses

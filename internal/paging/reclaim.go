@@ -55,7 +55,7 @@ func (m *Manager) reclaimBatch(p *sim.Proc, qp *rdma.QP, cq *rdma.CQ, cqGate *si
 		m.Evictions.Inc()
 		m.unmapped(fi)
 		if e.dirty {
-			rec := &Fetch{Space: s, VPN: f.vpn, frame: fi, writeback: true, issuedAt: int64(m.env.Now())}
+			rec := m.newFetch(s, f.vpn, fi, true, false)
 			e.state = pageWriteback
 			e.fetch = rec
 			f.state = frameWriteback

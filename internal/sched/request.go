@@ -36,6 +36,11 @@ type Request struct {
 
 	Faults      int
 	Preemptions int
+
+	// retired marks that the unithread finished while the dispatcher
+	// still owned the buffer (delegated TX): the TX-completion handler is
+	// then the last owner and recycles the record.
+	retired bool
 }
 
 // NodeLatency is the compute-node residence time: RX-ring arrival to

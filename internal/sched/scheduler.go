@@ -60,6 +60,67 @@ type Scheduler struct {
 	cpuCycles      int64
 	busyWaitCycles int64
 	dispCycles     int64
+
+	// freeReqs and freeUts recycle the per-request Request records and
+	// unithread contexts (each with its gate and body closure), so the
+	// admission path is allocation-free in steady state. Requests follow
+	// a two-owner protocol: the worker retires one when its unithread
+	// finishes, but under delegated TX the dispatcher still holds it
+	// until the TX completion releases the buffer — whichever party acts
+	// last recycles (Request.retired marks the first half done).
+	freeReqs []*Request
+	freeUts  []*Unithread
+}
+
+// newRequest takes a Request from the free list (or allocates one) and
+// initializes it for an arriving packet.
+func (s *Scheduler) newRequest(pkt *ethernet.Packet, buf *unithread.Buffer) *Request {
+	if n := len(s.freeReqs); n > 0 {
+		r := s.freeReqs[n-1]
+		s.freeReqs[n-1] = nil
+		s.freeReqs = s.freeReqs[:n-1]
+		*r = Request{Pkt: pkt, Buf: buf, Arrive: pkt.ArriveNode}
+		return r
+	}
+	return &Request{Pkt: pkt, Buf: buf, Arrive: pkt.ArriveNode}
+}
+
+// freeRequest returns a fully-released Request (buffer recycled,
+// completion hooks done) to the free list.
+func (s *Scheduler) freeRequest(r *Request) {
+	r.Pkt = nil // drop the packet reference; the rest is reset on reuse
+	s.freeReqs = append(s.freeReqs, r)
+}
+
+// newUnithread takes a recycled unithread context (or builds one) for a
+// dispatched request. Recycled contexts keep their gate and body closure,
+// so steady-state request admission allocates nothing here.
+func (s *Scheduler) newUnithread(w *Worker, req *Request) *Unithread {
+	if n := len(s.freeUts); n > 0 {
+		u := s.freeUts[n-1]
+		s.freeUts[n-1] = nil
+		s.freeUts = s.freeUts[:n-1]
+		g, bf := u.gate, u.bodyFn
+		g.Reset()
+		*u = Unithread{sched: s, worker: w, gate: g, bodyFn: bf, req: req}
+		return u
+	}
+	u := &Unithread{sched: s, worker: w, gate: sim.NewGate(s.env), req: req}
+	u.bodyFn = u.body
+	return u
+}
+
+// retire recycles a finished unithread and, if the dispatcher no longer
+// holds its request (buffer already released), the request too.
+func (s *Scheduler) retire(u *Unithread) {
+	req := u.req
+	if req.Buf == nil {
+		s.freeRequest(req)
+	} else {
+		req.retired = true // dispatcher recycles at TX completion
+	}
+	u.req, u.proc = nil, nil
+	s.freeUts = append(s.freeUts, u)
 }
 
 // dispatcher is one front-end core: it drains the RX ring into the
@@ -210,8 +271,7 @@ func (d *dispatcher) loop(p *sim.Proc) {
 					s.DropsPool.Inc()
 					continue
 				}
-				req := &Request{Pkt: pkt, Buf: buf, Arrive: pkt.ArriveNode}
-				s.central.Push(workItem{req: req})
+				s.central.Push(workItem{req: s.newRequest(pkt, buf)})
 			}
 		}
 
@@ -219,10 +279,15 @@ func (d *dispatcher) loop(p *sim.Proc) {
 			progress = true
 			d.charge(p, c.TxCompletion*sim.Time(len(cs)))
 			for _, comp := range cs {
-				req := comp.Cookie.(*ethernet.Packet).Ctx.(*Request)
+				pkt := comp.Cookie.(*ethernet.Packet)
+				req := pkt.Ctx.(*Request)
+				pkt.Ctx = nil
 				if req.Buf != nil {
 					s.pool.Release(req.Buf)
 					req.Buf = nil
+				}
+				if req.retired {
+					s.freeRequest(req)
 				}
 			}
 		}

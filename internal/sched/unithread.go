@@ -21,6 +21,13 @@ type Unithread struct {
 
 	runStart  sim.Time // when last placed on a core (preemption quantum)
 	noPreempt int      // >0 inside application critical sections
+
+	// bodyFn is the bound body method value, created once per context so
+	// recycled unithreads do not re-allocate the closure on every spawn.
+	bodyFn func(*sim.Proc)
+	// finished is set just before the final core handoff; the worker
+	// recycles the context once it regains the core.
+	finished bool
 }
 
 // CriticalEnter implements workload.Ctx: preemption is disabled until
@@ -118,6 +125,7 @@ func (u *Unithread) body(p *sim.Proc) {
 	if s.OnComplete != nil {
 		s.OnComplete(u.req)
 	}
+	u.finished = true
 	u.worker.runGate.Wake() // return the core; the unithread retires
 }
 

@@ -141,9 +141,9 @@ func (w *Worker) startRequest(req *Request) {
 	s := w.sched
 	now := w.proc.Now()
 	req.Dispatched = now
-	u := &Unithread{sched: s, worker: w, gate: sim.NewGate(s.env), req: req}
+	u := s.newUnithread(w, req)
 	w.charge(s.cfg.Costs.UnithreadSpawn + s.cfg.Costs.UnithreadSwitch)
-	s.env.Go("unithread", u.body)
+	s.env.Go("unithread", u.bodyFn)
 	w.handoff(u)
 }
 
@@ -159,5 +159,8 @@ func (w *Worker) handoff(u *Unithread) {
 		w.sched.Trace.Span(trace.KindRun, w.id,
 			fmt.Sprintf("req %d", u.req.Pkt.ID), start, w.proc.Now(),
 			map[string]any{"faults": u.req.Faults, "class": u.req.Pkt.Class})
+	}
+	if u.finished {
+		w.sched.retire(u)
 	}
 }

@@ -1,0 +1,113 @@
+package sim
+
+import "testing"
+
+// The BenchmarkEnv* suite measures the simulator kernel's per-event and
+// per-process costs (ns/op and allocs/op). BENCH_sim.json at the
+// repository root records the numbers before and after the hot-path
+// optimizations (pooled proc runners, closure-free wake-ups, intrusive
+// parked list); CI runs these as a smoke check.
+
+// BenchmarkSimEventLoop is the headline kernel benchmark: a realistic
+// mix of timer events and process park/resume cycles, the shape every
+// simulated request exercises (dispatch wake-up, fault sleep, resume).
+// One op = one fired event or one park/resume pair leg.
+func BenchmarkSimEventLoop(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEnv(1)
+	const procs = 8
+	iters := b.N/procs + 1
+	for i := 0; i < procs; i++ {
+		e.Go("worker", func(p *Proc) {
+			for j := 0; j < iters; j++ {
+				p.Sleep(100)
+			}
+		})
+	}
+	// Each Sleep is one scheduled wake-up event; the eight processes
+	// interleave through the heap exactly like worker cores do.
+	b.ResetTimer()
+	e.RunAll()
+}
+
+// BenchmarkEnvTimerEvents measures the pure event path: schedule and
+// fire plain callbacks with no processes involved.
+func BenchmarkEnvTimerEvents(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEnv(1)
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(10, fn)
+		e.RunAll()
+	}
+}
+
+// BenchmarkEnvProcSleep measures the park/resume handshake: a single
+// process sleeping in a tight loop. One op = one Sleep (park + scheduled
+// resume + event dispatch).
+func BenchmarkEnvProcSleep(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEnv(1)
+	done := make(chan struct{})
+	n := b.N
+	e.Go("sleeper", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			p.Sleep(10)
+		}
+		close(done)
+	})
+	b.ResetTimer()
+	e.RunAll()
+	<-done
+}
+
+// BenchmarkEnvProcSpawn measures steady-state process creation and
+// teardown inside one run: the per-request cost in the scheduler, which
+// spawns one unithread process per admitted request (millions per
+// measured operating point). One op = one Go + body run + termination.
+func BenchmarkEnvProcSpawn(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEnv(1)
+	body := func(p *Proc) { p.Sleep(1) }
+	n := b.N
+	e.Go("driver", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			e.Go("u", body)
+			p.Sleep(2)
+		}
+	})
+	b.ResetTimer()
+	e.RunAll()
+	b.StopTimer()
+	if e.LiveProcs() != 0 {
+		b.Fatalf("leaked %d procs", e.LiveProcs())
+	}
+}
+
+// BenchmarkEnvGatePingPong measures the synchronization-primitive path:
+// two processes handing control back and forth through gates, the
+// worker↔unithread handoff shape. One op = one half round trip.
+func BenchmarkEnvGatePingPong(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEnv(1)
+	ga, gb := NewGate(e), NewGate(e)
+	n := b.N
+	e.Go("a", func(p *Proc) {
+		for i := 0; i < n/2+1; i++ {
+			gb.Wake()
+			ga.Wait(p)
+		}
+	})
+	e.Go("b", func(p *Proc) {
+		for i := 0; i < n/2+1; i++ {
+			gb.Wait(p)
+			ga.Wake()
+		}
+	})
+	b.ResetTimer()
+	e.Run(Seconds(1000))
+	b.StopTimer()
+	e.Stop()
+	e.Run(e.Now())
+}

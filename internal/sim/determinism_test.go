@@ -1,0 +1,59 @@
+package sim
+
+import "testing"
+
+// TestEventOrderDeterminism drives two same-seed environments through a
+// mix of every event kind — plain timer callbacks, process starts,
+// sleeps, gate handoffs, and RNG-timed wake-ups — and asserts the two
+// runs fire events in exactly the same order at the same virtual times.
+// This is the kernel-level guarantee the parallel benchmark runner
+// builds on: one Env per goroutine plus equal seeds means equal results
+// regardless of host scheduling.
+func TestEventOrderDeterminism(t *testing.T) {
+	type ev struct {
+		at   Time
+		what string
+		n    int
+	}
+	run := func() []ev {
+		var trace []ev
+		e := NewEnv(7)
+		g := NewGate(e)
+		for w := 0; w < 4; w++ {
+			w := w
+			e.Go("worker", func(p *Proc) {
+				for i := 0; i < 25; i++ {
+					p.Sleep(Time(e.Rand().Intn(40) + 1))
+					trace = append(trace, ev{p.Now(), "worker", w*100 + i})
+					if i%5 == w%5 {
+						g.Wake()
+					}
+				}
+			})
+		}
+		e.Go("waiter", func(p *Proc) {
+			for i := 0; ; i++ {
+				g.Wait(p)
+				trace = append(trace, ev{p.Now(), "waiter", i})
+			}
+		})
+		for i := 0; i < 30; i++ {
+			i := i
+			e.At(Time(i*17+3), func() { trace = append(trace, ev{e.Now(), "timer", i}) })
+		}
+		e.Run(Seconds(1))
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event order diverges at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if len(a) < 100 {
+		t.Fatalf("scenario too small to be meaningful: %d events", len(a))
+	}
+}

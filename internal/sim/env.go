@@ -3,11 +3,15 @@ package sim
 import "fmt"
 
 // event is a scheduled callback. Events with equal times fire in schedule
-// order (seq), which is what makes runs deterministic.
+// order (seq), which is what makes runs deterministic. Process start and
+// wake-up events — the overwhelmingly common case — carry the target
+// process in proc instead of a closure in fn, keeping the hottest
+// scheduling path allocation-free.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	fn   func()
+	proc *Proc
 }
 
 // eventHeap is a binary min-heap ordered by (at, seq). It is hand-rolled
@@ -78,9 +82,10 @@ type Env struct {
 	// process runs at a time, one channel suffices.
 	parked chan struct{}
 
-	stopped   bool
-	nProcs    int                // live (not yet terminated) processes, for leak detection
-	parkedSet map[*Proc]struct{} // currently parked processes, for teardown
+	stopped     bool
+	nProcs      int     // live (not yet terminated) processes, for leak detection
+	parkedHead  *Proc   // intrusive list of parked processes, for teardown
+	freeRunners *runner // recycled process goroutines + rendezvous channels
 }
 
 // NewEnv returns an environment with its clock at zero, seeded with seed.
@@ -124,7 +129,11 @@ func (e *Env) Run(until Time) Time {
 		}
 		ev := e.heap.pop()
 		e.now = ev.at
-		ev.fn()
+		if ev.proc != nil {
+			e.runProcEvent(ev.proc)
+		} else {
+			ev.fn()
+		}
 	}
 	if e.now < until && !e.stopped {
 		e.now = until
@@ -138,7 +147,11 @@ func (e *Env) RunAll() Time {
 	for !e.stopped && len(e.heap.ev) > 0 {
 		ev := e.heap.pop()
 		e.now = ev.at
-		ev.fn()
+		if ev.proc != nil {
+			e.runProcEvent(ev.proc)
+		} else {
+			ev.fn()
+		}
 	}
 	e.releaseParked()
 	return e.now

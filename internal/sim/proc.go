@@ -11,12 +11,24 @@ package sim
 // transfers control to a process it blocks on env.parked until the
 // process parks again or terminates, so at most one process (or the loop)
 // executes at any moment and no user-level locking is needed anywhere in
-// the simulator.
+// the simulator. The goroutine and its rendezvous channel live in a
+// runner that outlives the Proc: when a process terminates, its runner
+// returns to the environment's free list and the next Go reuses it, so
+// per-request process churn (one unithread per request in the scheduler)
+// costs neither a goroutine spawn nor a channel allocation in steady
+// state.
 type Proc struct {
-	env    *Env
-	name   string
-	resume chan procSignal
-	done   bool
+	env  *Env
+	name string
+	r    *runner
+	body func(*Proc) // pending body between Go and the start event
+	done bool
+
+	// Intrusive doubly-linked list of currently-parked processes, for
+	// teardown. Replaces a map so the hot park/resume path stays free of
+	// hashing.
+	parkPrev, parkNext *Proc
+	parked             bool
 }
 
 type procSignal struct {
@@ -28,30 +40,90 @@ type procSignal struct {
 // park again from deferred functions.
 type abortSignal struct{}
 
+// runner is a reusable process executor: one goroutine plus the
+// rendezvous channel the event loop uses to hand control to it. Runners
+// are pooled per Env (freeRunners) and recycled across processes within
+// a run; releaseParked drains the pool when a run finishes so idle
+// goroutines never outlive the simulation that created them.
+type runner struct {
+	work   chan runnerWork // loop → runner: begin a new process body
+	resume chan procSignal // loop → runner: resume the parked process
+	next   *runner         // free-list link
+}
+
+type runnerWork struct {
+	p  *Proc
+	fn func(*Proc)
+}
+
 // Go creates a process that will begin executing fn at the current
 // simulated time (after already-scheduled events at this time).
 func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{env: e, name: name, resume: make(chan procSignal)}
+	p := &Proc{env: e, name: name, body: fn}
 	e.nProcs++
-	e.After(0, func() { p.start(fn) })
+	e.seq++
+	e.heap.push(event{at: e.now, seq: e.seq, proc: p})
 	return p
 }
 
-func (p *Proc) start(fn func(*Proc)) {
-	go func() {
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(abortSignal); !ok {
-					panic(r)
-				}
+// runProcEvent dispatches a proc-carrying event: the start of a new
+// process (first firing after Go) or the resumption of a parked one.
+func (e *Env) runProcEvent(p *Proc) {
+	if fn := p.body; fn != nil {
+		p.body = nil
+		e.startProc(p, fn)
+		return
+	}
+	e.resumeProc(p)
+}
+
+// startProc transfers control to a (new or recycled) runner executing
+// p's body and waits until the process parks or terminates. Must only be
+// called from event-loop context.
+func (e *Env) startProc(p *Proc, fn func(*Proc)) {
+	if r := e.freeRunners; r != nil {
+		e.freeRunners = r.next
+		r.next = nil
+		p.r = r
+		r.work <- runnerWork{p: p, fn: fn}
+	} else {
+		r := &runner{work: make(chan runnerWork), resume: make(chan procSignal)}
+		p.r = r
+		go r.loop(e, runnerWork{p: p, fn: fn})
+	}
+	<-e.parked
+}
+
+// loop runs process bodies until the environment closes the runner's
+// work channel. Between bodies the runner parks itself on the free list;
+// the push happens while the loop goroutine is still blocked on
+// e.parked, so the list needs no locking.
+func (r *runner) loop(e *Env, w runnerWork) {
+	for {
+		r.runBody(w)
+		w.p.done = true
+		e.nProcs--
+		r.next = e.freeRunners
+		e.freeRunners = r
+		e.parked <- struct{}{}
+		var ok bool
+		if w, ok = <-r.work; !ok {
+			return
+		}
+	}
+}
+
+// runBody executes one process body, converting the teardown abort into
+// a normal return so the runner goroutine survives for reuse.
+func (r *runner) runBody(w runnerWork) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if _, ok := rec.(abortSignal); !ok {
+				panic(rec)
 			}
-			p.done = true
-			p.env.nProcs--
-			p.env.parked <- struct{}{}
-		}()
-		fn(p)
+		}
 	}()
-	<-p.env.parked
+	w.fn(w.p)
 }
 
 // Name returns the process's debug name.
@@ -66,12 +138,17 @@ func (p *Proc) Now() Time { return p.env.now }
 // park hands control back to the event loop until some event resumes this
 // process. The caller must have arranged for a wake-up first.
 func (p *Proc) park() {
-	if p.env.parkedSet == nil {
-		p.env.parkedSet = make(map[*Proc]struct{})
+	e := p.env
+	p.parked = true
+	p.parkNext = e.parkedHead
+	if e.parkedHead != nil {
+		e.parkedHead.parkPrev = p
 	}
-	p.env.parkedSet[p] = struct{}{}
-	p.env.parked <- struct{}{}
-	sig := <-p.resume
+	p.parkPrev = nil
+	e.parkedHead = p
+
+	e.parked <- struct{}{}
+	sig := <-p.r.resume
 	if sig.abort {
 		panic(abortSignal{})
 	}
@@ -84,16 +161,39 @@ func (e *Env) resumeProc(p *Proc) {
 	if p.done {
 		panic("sim: resuming terminated proc " + p.name)
 	}
-	delete(e.parkedSet, p)
-	p.resume <- procSignal{}
+	e.unlinkParked(p)
+	p.r.resume <- procSignal{}
 	<-e.parked
+}
+
+// unlinkParked removes p from the parked list.
+func (e *Env) unlinkParked(p *Proc) {
+	if !p.parked {
+		return
+	}
+	p.parked = false
+	if p.parkPrev != nil {
+		p.parkPrev.parkNext = p.parkNext
+	} else if e.parkedHead == p {
+		e.parkedHead = p.parkNext
+	}
+	if p.parkNext != nil {
+		p.parkNext.parkPrev = p.parkPrev
+	}
+	p.parkPrev, p.parkNext = nil, nil
 }
 
 // scheduleResume arranges for p to be resumed at time at. It is the
 // building block for all wake-ups: primitives never resume a process
 // inline (that would nest processes); they always go through an event.
+// The event carries the process directly — no closure is allocated on
+// this path, which every Sleep, Gate.Wake, and Queue.Push takes.
 func (e *Env) scheduleResume(p *Proc, at Time) {
-	e.At(at, func() { e.resumeProc(p) })
+	if at < e.now {
+		panic("sim: scheduling resume in the past for " + p.name)
+	}
+	e.seq++
+	e.heap.push(event{at: at, seq: e.seq, proc: p})
 }
 
 // Park blocks the process until some event resumes it via ScheduleResume.
@@ -117,13 +217,18 @@ func (p *Proc) Sleep(d Time) {
 	p.park()
 }
 
-// releaseParked unwinds any still-parked process goroutines. Called when
-// a run finishes so that repeated simulations (benchmark sweeps) do not
-// leak goroutines.
+// releaseParked unwinds any still-parked process goroutines and drains
+// the runner pool. Called when a run finishes so that repeated
+// simulations (benchmark sweeps) do not leak goroutines.
 func (e *Env) releaseParked() {
-	for p := range e.parkedSet {
-		delete(e.parkedSet, p)
-		p.resume <- procSignal{abort: true}
+	for e.parkedHead != nil {
+		p := e.parkedHead
+		e.unlinkParked(p)
+		p.r.resume <- procSignal{abort: true}
 		<-e.parked
 	}
+	for r := e.freeRunners; r != nil; r = r.next {
+		close(r.work)
+	}
+	e.freeRunners = nil
 }

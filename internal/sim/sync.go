@@ -43,6 +43,13 @@ func (g *Gate) Wake() {
 // Waiting reports whether a process is currently blocked on the gate.
 func (g *Gate) Waiting() bool { return g.waiter != nil }
 
+// Reset clears any waiter and pending wake, returning the gate to its
+// initial state so object pools can recycle gate-owning structures.
+func (g *Gate) Reset() {
+	g.waiter = nil
+	g.pending = false
+}
+
 // Queue is an unbounded blocking FIFO connecting processes (and event
 // callbacks) in the simulation. Push never blocks; Pop blocks the calling
 // process until an item is available. Multiple poppers are served in
