@@ -11,6 +11,12 @@
 // … fig13, plus the abl-* ablations and the infiniswap extension); -list
 // prints them all.
 //
+// With -faults SPEC (see EXPERIMENTS.md for the grammar, e.g.
+// "wr=0.01,link=20ms:200us:4"), every built system runs under the given
+// deterministic fault plan; -fault-seed replays the same workload under
+// a different fault schedule. Without -faults nothing is injected and
+// output is byte-identical to builds without fault support.
+//
 // With -parallel N (default GOMAXPROCS), up to N simulations run
 // concurrently: the operating points inside each sweep fan out across
 // goroutines, and under -exp all whole experiments do too. Each point
@@ -32,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/faults"
 )
 
 func main() {
@@ -42,6 +49,8 @@ func main() {
 	doPlot := flag.Bool("plot", false, "render ASCII charts of each sweep")
 	csvPath := flag.String("csv", "", "also write measured points as CSV to this file")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrently-running simulations (1 = sequential)")
+	faultSpec := flag.String("faults", "", "fault plan, e.g. 'wr=0.01,rnr=0.001:5us,link=20ms:200us:4,mem=25ms:100us'")
+	faultSeed := flag.Int64("fault-seed", 0, "salt for the fault schedule (replays the workload under different faults)")
 	flag.Parse()
 
 	if *list {
@@ -53,6 +62,18 @@ func main() {
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "adios-bench: -exp required (use -list for ids, or 'all')")
 		os.Exit(2)
+	}
+
+	if *faultSpec != "" || *faultSeed != 0 {
+		plan, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adios-bench: %v\n", err)
+			os.Exit(2)
+		}
+		if *faultSeed != 0 {
+			plan.Seed = *faultSeed
+		}
+		bench.SetFaults(plan)
 	}
 
 	opt := bench.Options{Short: *short, Out: os.Stdout, Seed: *seed, Plot: *doPlot}

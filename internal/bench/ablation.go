@@ -165,7 +165,7 @@ func AblPool(opt Options) []Point {
 	for i, n := range sizes {
 		n := n
 		specs = append(specs, pointSpec{
-			b: microBuilder(0.20, func(c *core.Config) { c.PoolSize = n }),
+			b:    microBuilder(0.20, func(c *core.Config) { c.PoolSize = n }),
 			mode: core.Adios, rps: 2_500_000,
 			seed: pointSeed(opt.seed(), opt.exp, core.Adios.String(), i),
 		})

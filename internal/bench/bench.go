@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/plot"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -83,6 +84,17 @@ func (o *Options) SetParallel(n int) {
 // DefaultOptions returns full-resolution options writing to w.
 func DefaultOptions(w io.Writer) Options { return Options{Out: w, Seed: 1} }
 
+// faultPlan is the process-wide fault plan applied to every system an
+// experiment builds (installed from the CLI's -faults flag). The zero
+// value injects nothing, leaving every experiment byte-identical to a
+// build without fault support. The resilience experiment uses it as the
+// base plan for its fault-rate sweep.
+var faultPlan faults.Config
+
+// SetFaults installs the default fault plan for subsequently built
+// systems. Not safe to call concurrently with running experiments.
+func SetFaults(cfg faults.Config) { faultPlan = cfg }
+
 func (o *Options) printf(format string, args ...any) {
 	if o.Out != nil {
 		fmt.Fprintf(o.Out, format, args...)
@@ -117,6 +129,14 @@ type Point struct {
 	LinkUtil float64
 	Drops    int64
 
+	// Aborts counts requests failed by fetch-retry exhaustion and
+	// Retries the fetch/write-back reposts behind them — both zero unless
+	// a fault plan is active (see the resilience experiment). Completed
+	// is the total finished-request count the abort fraction is over.
+	Aborts    int64
+	Retries   int64
+	Completed int64
+
 	// Per-class percentiles (e.g. GET/SCAN), when the workload is
 	// classified.
 	Class map[string]ClassLat
@@ -145,6 +165,7 @@ func buildPreset(localFrac float64, mut mutator,
 		local := int64(localFrac * float64(appBytes()))
 		cfg := core.Preset(mode, local)
 		cfg.Seed = seed
+		cfg.Faults = faultPlan
 		if mut != nil {
 			mut(&cfg)
 		}
@@ -232,14 +253,17 @@ func (o *Options) runPointSeeded(b builder, mode core.Mode, rps float64, seed in
 	warm, meas := o.windows(rps)
 	res := sys.Run(app, rps, warm, meas)
 	pt := Point{
-		Mode:     mode.String(),
-		OfferedK: res.OfferedK,
-		TputK:    res.TputK,
-		P50us:    res.P50us,
-		P99us:    res.P99us,
-		P999us:   res.P999us,
-		LinkUtil: res.LinkUtil,
-		Drops:    res.Drops,
+		Mode:      mode.String(),
+		OfferedK:  res.OfferedK,
+		TputK:     res.TputK,
+		P50us:     res.P50us,
+		P99us:     res.P99us,
+		P999us:    res.P999us,
+		LinkUtil:  res.LinkUtil,
+		Drops:     res.Drops,
+		Aborts:    res.Aborts,
+		Retries:   res.Retries,
+		Completed: res.Completed,
 	}
 	if len(res.Gen.ByClass) > 0 {
 		pt.Class = make(map[string]ClassLat)
@@ -426,6 +450,7 @@ var experiments = map[string]func(Options){
 	"abl-multidisp": func(o Options) { AblMultiDispatch(o) },
 	"abl-transport": func(o Options) { AblTransport(o) },
 	"infiniswap":    func(o Options) { Infiniswap(o) },
+	"resilience":    func(o Options) { Resilience(o) },
 }
 
 // Run executes the experiment with the given id. Returns an error for
@@ -449,7 +474,7 @@ func All() []string {
 		"abl-prefetch", "abl-reclaim", "abl-compute", "abl-workers",
 		"abl-quantum", "abl-pool", "abl-twosided", "abl-steal",
 		"abl-ipi", "abl-evict", "abl-hugepage", "abl-canvas",
-		"abl-multidisp", "abl-transport", "infiniswap",
+		"abl-multidisp", "abl-transport", "infiniswap", "resilience",
 	}
 }
 

@@ -29,7 +29,7 @@ func TestRunDispatchesAllIDs(t *testing.T) {
 	}
 	for _, id := range All() {
 		if !strings.HasPrefix(id, "fig") && !strings.HasPrefix(id, "table") &&
-			!strings.HasPrefix(id, "abl") && id != "infiniswap" {
+			!strings.HasPrefix(id, "abl") && id != "infiniswap" && id != "resilience" {
 			t.Fatalf("unexpected id %q", id)
 		}
 	}

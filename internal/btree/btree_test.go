@@ -23,7 +23,7 @@ func (t *ctxThread) Proc() *sim.Proc { return t.proc }
 func (t *ctxThread) QP() *rdma.QP    { return t.qp }
 func (t *ctxThread) WaitPage(s *paging.Space, vpn int64) {
 	for !s.Resident(vpn) {
-		if t.mgr.RequestPage(t, s, vpn, t.gate.Wake, true) {
+		if t.mgr.RequestPage(t, s, vpn, func(error) { t.gate.Wake() }, true) {
 			return
 		}
 		t.gate.Wait(t.proc)
@@ -44,7 +44,7 @@ func run(t *testing.T, capacityPages, localPages int64, fn func(ctx paging.Threa
 	qp := nic.CreateQP("t", cq)
 	cq.Notify = func() {
 		for _, c := range cq.Poll(64) {
-			mgr.Complete(c.Cookie.(*paging.Fetch))
+			mgr.Complete(c.Cookie.(*paging.Fetch), c.Err)
 		}
 	}
 	rcq := rdma.NewCQ("reclaim")

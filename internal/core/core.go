@@ -13,6 +13,7 @@ package core
 
 import (
 	"repro/internal/ethernet"
+	"repro/internal/faults"
 	"repro/internal/loadgen"
 	"repro/internal/memnode"
 	"repro/internal/paging"
@@ -78,6 +79,11 @@ type Config struct {
 	// MemNodeBytes is the memory node capacity.
 	MemNodeBytes int64
 
+	// Faults is the fault-injection plan; the zero value disables
+	// injection entirely (no interceptor is installed, so fault-free runs
+	// are byte-identical to builds without the faults package wired).
+	Faults faults.Config
+
 	Seed int64
 }
 
@@ -137,21 +143,22 @@ func Preset(mode Mode, localBytes int64) Config {
 
 // System is an assembled compute node + memory node + client network.
 type System struct {
-	Cfg   Config
-	Env   *sim.Env
-	Net   *ethernet.Net
-	NIC   *rdma.NIC
-	Node  *memnode.Node
-	Mgr   *paging.Manager
-	Pool  *unithread.Pool
-	Sched *sched.Scheduler // nil until Start
+	Cfg    Config
+	Env    *sim.Env
+	Net    *ethernet.Net
+	NIC    *rdma.NIC
+	Node   *memnode.Node
+	Mgr    *paging.Manager
+	Pool   *unithread.Pool
+	Sched  *sched.Scheduler // nil until Start
+	Faults *faults.Injector // nil unless Cfg.Faults.Enabled()
 }
 
 // NewSystem builds the data plane. Applications then allocate their
 // spaces (via Mgr and Node) before Start wires the scheduler.
 func NewSystem(cfg Config) *System {
 	env := sim.NewEnv(cfg.Seed)
-	return &System{
+	sys := &System{
 		Cfg:  cfg,
 		Env:  env,
 		Net:  ethernet.New(env, cfg.Eth),
@@ -160,6 +167,11 @@ func NewSystem(cfg Config) *System {
 		Mgr:  paging.NewManager(env, cfg.Paging),
 		Pool: unithread.NewPool(cfg.PoolSize, cfg.BufSize),
 	}
+	if cfg.Faults.Enabled() {
+		sys.Faults = faults.New(cfg.Faults, sys.Node, cfg.Seed)
+		sys.NIC.SetInterceptor(sys.Faults)
+	}
+	return sys
 }
 
 // Start launches the scheduler (dispatcher + workers) for the given
@@ -185,6 +197,12 @@ type RunResult struct {
 	Drops     int64   // RX + central-queue + pool drops
 	Faults    int64
 	Completed int64
+
+	// Aborts counts requests failed by retry exhaustion on a demand
+	// fetch; Retries counts fetch/write-back reposts. Zero when the fault
+	// plan is disabled.
+	Aborts  int64
+	Retries int64
 
 	// Breakdown aggregates (cycles) over completed requests, for the
 	// Figure 2(c)/7(c) decomposition.
@@ -222,6 +240,8 @@ func (sys *System) Run(app workload.App, rateRPS float64, warmup, measure sim.Ti
 		Drops:     sys.Net.Drops.Value() + sys.Sched.DropsQueue.Value() + sys.Sched.DropsPool.Value(),
 		Faults:    sys.Mgr.Faults.Value(),
 		Completed: sys.Sched.Completed.Value(),
+		Aborts:    sys.Sched.FaultAborts.Value(),
+		Retries:   sys.Mgr.FetchRetries.Value() + sys.Mgr.WritebackRetries.Value(),
 		Gen:       gen,
 	}
 }

@@ -1,0 +1,159 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// ParseSpec parses the -faults flag grammar: a comma-separated list of
+// fault classes, each "key=value" with colon-separated parameters.
+//
+//	wr=RATE              completion-error probability per work request
+//	rnr=RATE:DUR         RNR-delay probability and mean delay
+//	link=EVERY:FOR:MULT  mean gap, mean duration, slowdown factor (> 1)
+//	mem=EVERY:FOR        memory-node stalls: mean gap, mean duration
+//	seed=N               fault-stream seed (also settable via -fault-seed)
+//
+// Durations accept "us"/"µs", "ms", "s" suffixes, or bare CPU cycles.
+// Example: "wr=0.01,rnr=0.005:20us,link=300us:50us:4,mem=800us:100us".
+// The empty string parses to the disabled plan.
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return cfg, nil
+	}
+	for _, item := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(item), "=")
+		if !ok {
+			return Config{}, fmt.Errorf("faults: %q: want key=value", item)
+		}
+		parts := strings.Split(val, ":")
+		var err error
+		switch key {
+		case "wr":
+			err = parseArgs(key, parts, 1, func(p []string) error {
+				return parseRate(p[0], &cfg.WRErrRate)
+			})
+		case "rnr":
+			err = parseArgs(key, parts, 2, func(p []string) error {
+				if e := parseRate(p[0], &cfg.RNRRate); e != nil {
+					return e
+				}
+				return parseDur(p[1], &cfg.RNRDelay)
+			})
+		case "link":
+			err = parseArgs(key, parts, 3, func(p []string) error {
+				if e := parseDur(p[0], &cfg.LinkEvery); e != nil {
+					return e
+				}
+				if e := parseDur(p[1], &cfg.LinkFor); e != nil {
+					return e
+				}
+				f, e := strconv.ParseFloat(p[2], 64)
+				if e != nil || f <= 1 {
+					return fmt.Errorf("slowdown factor %q must be > 1", p[2])
+				}
+				cfg.LinkFactor = f
+				return nil
+			})
+		case "mem":
+			err = parseArgs(key, parts, 2, func(p []string) error {
+				if e := parseDur(p[0], &cfg.MemEvery); e != nil {
+					return e
+				}
+				return parseDur(p[1], &cfg.MemFor)
+			})
+		case "seed":
+			n, e := strconv.ParseInt(val, 10, 64)
+			if e != nil {
+				return Config{}, fmt.Errorf("faults: seed %q: %v", val, e)
+			}
+			cfg.Seed = n
+		default:
+			return Config{}, fmt.Errorf("faults: unknown class %q (want wr, rnr, link, mem, seed)", key)
+		}
+		if err != nil {
+			return Config{}, err
+		}
+	}
+	return cfg, nil
+}
+
+// String renders the plan in ParseSpec's grammar (the canonical form
+// used in logs and CSV keys). The disabled plan renders as "none".
+func (c Config) String() string {
+	var parts []string
+	if c.WRErrRate > 0 {
+		parts = append(parts, fmt.Sprintf("wr=%g", c.WRErrRate))
+	}
+	if c.RNRRate > 0 {
+		parts = append(parts, fmt.Sprintf("rnr=%g:%s", c.RNRRate, durString(c.RNRDelay)))
+	}
+	if c.LinkEvery > 0 && c.LinkFactor > 1 {
+		parts = append(parts, fmt.Sprintf("link=%s:%s:%g",
+			durString(c.LinkEvery), durString(c.LinkFor), c.LinkFactor))
+	}
+	if c.MemEvery > 0 {
+		parts = append(parts, fmt.Sprintf("mem=%s:%s", durString(c.MemEvery), durString(c.MemFor)))
+	}
+	if c.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", c.Seed))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseArgs(key string, parts []string, want int, fn func([]string) error) error {
+	if len(parts) != want {
+		return fmt.Errorf("faults: %s wants %d colon-separated values, got %d", key, want, len(parts))
+	}
+	if err := fn(parts); err != nil {
+		return fmt.Errorf("faults: %s: %v", key, err)
+	}
+	return nil
+}
+
+func parseRate(s string, out *float64) error {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || f < 0 || f > 1 {
+		return fmt.Errorf("rate %q must be in [0, 1]", s)
+	}
+	*out = f
+	return nil
+}
+
+// parseDur parses a duration: "20us", "1.5ms", "2s", or bare cycles.
+func parseDur(s string, out *sim.Time) error {
+	mult := 1.0
+	num := s
+	switch {
+	case strings.HasSuffix(s, "us"):
+		num, mult = s[:len(s)-2], float64(sim.Micros(1))
+	case strings.HasSuffix(s, "µs"):
+		num, mult = strings.TrimSuffix(s, "µs"), float64(sim.Micros(1))
+	case strings.HasSuffix(s, "ms"):
+		num, mult = s[:len(s)-2], float64(sim.Millis(1))
+	case strings.HasSuffix(s, "s"):
+		num, mult = s[:len(s)-1], float64(sim.Millis(1000))
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil || f < 0 {
+		return fmt.Errorf("duration %q: want e.g. 20us, 1.5ms, or cycles", s)
+	}
+	*out = sim.Time(f * mult)
+	return nil
+}
+
+func durString(d sim.Time) string {
+	us := d.Micros()
+	if us >= 1000 {
+		return fmt.Sprintf("%gms", us/1000)
+	}
+	return fmt.Sprintf("%gus", us)
+}

@@ -1,10 +1,18 @@
 // Package memnode models the passive memory node of the disaggregated
 // system: pre-registered memory regions served entirely by one-sided
 // RDMA, with no CPU involvement in the data path (the design shared by
-// DiLOS, Fastswap, and Adios).
+// DiLOS, Fastswap, and Adios). A node can additionally carry stall
+// windows — intervals of unresponsiveness a fault plan schedules — that
+// the fabric consults to delay operations, the pause/stall half of the
+// failure model.
 package memnode
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
 
 // Region is a registered remote-memory region. Data is the authoritative
 // backing store for pages that are not resident in the compute node's
@@ -15,8 +23,14 @@ type Region struct {
 }
 
 // Slice returns the byte view [off, off+n) of the region for use as the
-// remote side of an RDMA verb.
+// remote side of an RDMA verb. Out-of-range requests are a protection
+// violation — the remote-key check a real HCA performs — and panic with
+// the region, offset, and size rather than a bare slice error.
 func (r *Region) Slice(off, n int64) []byte {
+	if off < 0 || n < 0 || off+n > int64(len(r.Data)) {
+		panic(fmt.Sprintf("memnode: region %q: access [%d, %d) outside registered [0, %d)",
+			r.Name, off, off+n, len(r.Data)))
+	}
 	return r.Data[off : off+n]
 }
 
@@ -28,6 +42,15 @@ type Node struct {
 	capacity  int64
 	allocated int64
 	regions   map[string]*Region
+
+	// stalls are [from, until) windows (sim time, cycles) during which
+	// the node is unresponsive, appended chronologically by the fault
+	// plan. Operations arriving inside a window are served at its end.
+	stalls  [][2]int64
+	stalled int64 // total injected unavailability, cycles
+
+	// Stalls counts scheduled stall windows.
+	Stalls stats.Counter
 }
 
 // New returns a memory node with the given capacity in bytes.
@@ -61,6 +84,46 @@ func (n *Node) MustAlloc(name string, size int64) *Region {
 
 // Region returns the named region, or nil.
 func (n *Node) Region(name string) *Region { return n.regions[name] }
+
+// Pause schedules a stall window: the node is unresponsive during
+// [from, until). Windows must be appended in non-decreasing start
+// order (a fault plan generates them chronologically); a window that
+// overlaps the previous one is merged into it.
+func (n *Node) Pause(from, until int64) {
+	if until <= from {
+		return
+	}
+	if last := len(n.stalls) - 1; last >= 0 {
+		if from < n.stalls[last][0] {
+			panic("memnode: Pause windows must be scheduled in order")
+		}
+		if from <= n.stalls[last][1] { // overlap/adjacent: extend
+			if until > n.stalls[last][1] {
+				n.stalled += until - n.stalls[last][1]
+				n.stalls[last][1] = until
+			}
+			return
+		}
+	}
+	n.stalls = append(n.stalls, [2]int64{from, until})
+	n.stalled += until - from
+	n.Stalls.Inc()
+}
+
+// AvailableAt returns the earliest time ≥ t at which the node serves:
+// t itself when no stall window covers it, otherwise the end of the
+// covering window.
+func (n *Node) AvailableAt(t int64) int64 {
+	// Windows are sorted and disjoint; find the first ending after t.
+	i := sort.Search(len(n.stalls), func(i int) bool { return n.stalls[i][1] > t })
+	if i < len(n.stalls) && n.stalls[i][0] <= t {
+		return n.stalls[i][1]
+	}
+	return t
+}
+
+// StalledTime returns the total scheduled unavailability in cycles.
+func (n *Node) StalledTime() int64 { return n.stalled }
 
 // Allocated returns the number of registered bytes.
 func (n *Node) Allocated() int64 { return n.allocated }

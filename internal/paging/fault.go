@@ -1,5 +1,30 @@
 package paging
 
+import (
+	"fmt"
+
+	"repro/internal/rdma"
+	"repro/internal/sim"
+)
+
+// FetchError is delivered to waiters when a demand fetch exhausts its
+// bounded retries (Config.MaxFetchAttempts). It is the simulated
+// analogue of SIGBUS on a failed page-in: the scheduler converts it
+// into a failed request instead of hanging the unithread.
+type FetchError struct {
+	Space    string
+	VPN      int64
+	Attempts int
+	Err      error // the final completion error
+}
+
+func (e *FetchError) Error() string {
+	return fmt.Sprintf("paging: fetch of %s page %d failed after %d attempts: %v",
+		e.Space, e.VPN, e.Attempts, e.Err)
+}
+
+func (e *FetchError) Unwrap() error { return e.Err }
+
 // Fetch is the record of an in-flight page movement: a demand fetch, a
 // prefetch, or an eviction write-back. It is the cookie carried by the
 // RDMA completion; the polling thread hands it back to the manager via
@@ -15,10 +40,20 @@ type Fetch struct {
 	// waiters are invoked (in completion context) once the page becomes
 	// present (fetch) or absent again (write-back finished). The
 	// scheduler registers a closure that marks the blocked unithread
-	// runnable.
-	waiters []func()
+	// runnable. A non-nil argument reports that the fetch was abandoned
+	// (*FetchError); the page did not change state in the waiter's
+	// favour and the access must fail.
+	waiters []func(error)
 
 	issuedAt int64 // sim time of issue, for fetch-latency accounting
+
+	// qp is where the last post went; retries re-post there. attempts
+	// counts posts so far; firstFailAt is the sim time of the first
+	// completion error (-1 while unfailed), for recovery-latency
+	// accounting.
+	qp          *rdma.QP
+	attempts    int
+	firstFailAt int64
 }
 
 // Writeback reports whether this record is an eviction write-back.
@@ -38,6 +73,7 @@ func (m *Manager) newFetch(s *Space, vpn int64, frame int32, writeback, demand b
 	f.Space, f.VPN = s, vpn
 	f.frame, f.writeback, f.demand = frame, writeback, demand
 	f.issuedAt = int64(m.env.Now())
+	f.qp, f.attempts, f.firstFailAt = nil, 1, -1
 	return f
 }
 
@@ -49,6 +85,7 @@ func (m *Manager) recycleFetch(f *Fetch) {
 	}
 	f.waiters = f.waiters[:0]
 	f.Space = nil
+	f.qp = nil
 	m.freeFetches = append(m.freeFetches, f)
 }
 
@@ -57,11 +94,13 @@ func (m *Manager) recycleFetch(f *Fetch) {
 // access can proceed). Otherwise it arranges for onReady to be invoked
 // when the page's state changes in the caller's favour and returns false;
 // the caller blocks and then re-invokes RequestPage — transitions like
-// write-back-then-refetch need several rounds.
+// write-back-then-refetch need several rounds. onReady receives a
+// non-nil *FetchError when the fetch was abandoned after bounded
+// retries; the caller must then fail the access instead of re-invoking.
 //
 // The demand flag marks a real miss (first round of a fault) for
 // accounting.
-func (m *Manager) RequestPage(t Thread, s *Space, vpn int64, onReady func(), demand bool) bool {
+func (m *Manager) RequestPage(t Thread, s *Space, vpn int64, onReady func(error), demand bool) bool {
 	e := &s.ptes[vpn]
 	switch e.state {
 	case pagePresent:
@@ -116,8 +155,9 @@ func (m *Manager) RequestPage(t Thread, s *Space, vpn int64, onReady func(), dem
 }
 
 // startFetch transitions the PTE to fetching and posts the RDMA READ. If
-// the QP is saturated the calling thread waits for a slot — the stall the
-// paper observes when the NIC cannot match host processing (§5.2).
+// the QP is saturated (or errored and draining) the calling thread waits
+// for a slot — the stall the paper observes when the NIC cannot match
+// host processing (§5.2).
 func (m *Manager) startFetch(t Thread, f *Fetch) {
 	s, vpn := f.Space, f.VPN
 	e := &s.ptes[vpn]
@@ -127,6 +167,7 @@ func (m *Manager) startFetch(t Thread, f *Fetch) {
 	fr.space, fr.vpn, fr.state = s.id, vpn, frameFilling
 
 	qp := t.QP()
+	f.qp = qp
 	for {
 		err := qp.PostRead(fr.data, s.region.Slice(vpn*PageSize, PageSize), f)
 		if err == nil {
@@ -144,7 +185,7 @@ func (m *Manager) issueAsync(t Thread, s *Space, vpn int64) bool {
 	if vpn >= s.Pages() || s.ptes[vpn].state != pageAbsent {
 		return true // nothing to do; not a resource failure
 	}
-	if t.QP().Full() {
+	if t.QP().Full() || t.QP().Errored() {
 		return false
 	}
 	fr, ok := m.tryAllocFrame()
@@ -152,6 +193,7 @@ func (m *Manager) issueAsync(t Thread, s *Space, vpn int64) bool {
 		return false
 	}
 	f := m.newFetch(s, vpn, fr, false, false)
+	f.qp = t.QP()
 	e := &s.ptes[vpn]
 	e.state = pageFetching
 	e.fetch = f
@@ -223,12 +265,27 @@ func (m *Manager) prefetchAround(t Thread, s *Space, vpn int64) {
 	}
 }
 
-// Complete finishes an in-flight page movement when its RDMA completion
-// has been polled. For a fetch, the page becomes present (the data copy
-// into the frame was performed by the fabric at completion time). For a
-// write-back, the frame is freed and the page becomes absent. All
-// registered waiters are invoked.
-func (m *Manager) Complete(f *Fetch) {
+// Complete finishes one round of an in-flight page movement when its
+// RDMA completion has been polled, and reports whether the record is
+// terminal (true) or has been re-armed for a retry (false) — callers
+// tracking in-flight counts must only decrement on true.
+//
+// On success: a fetch makes the page present (the data copy into the
+// frame was performed by the fabric at completion time); a write-back
+// frees the frame and makes the page absent. On a completion error the
+// recovery state machine takes over:
+//
+//   - a write-back is re-posted with exponential backoff until durable —
+//     the dirty page keeps its frame and its data, so an eviction is
+//     never observable before the memory node holds the bytes;
+//   - a demand fetch (or a prefetch someone started waiting on) is
+//     re-posted up to Config.MaxFetchAttempts total posts, after which
+//     the page reverts to absent and waiters receive a *FetchError;
+//   - an unawaited prefetch is simply dropped — it was optional.
+func (m *Manager) Complete(f *Fetch, cerr error) bool {
+	if cerr != nil {
+		return m.completeError(f, cerr)
+	}
 	s := f.Space
 	e := &s.ptes[f.VPN]
 	if f.writeback {
@@ -250,10 +307,101 @@ func (m *Manager) Complete(f *Fetch) {
 		m.frames[f.frame].state = frameResident
 		m.installed(f.frame)
 	}
+	if f.firstFailAt >= 0 {
+		m.RecoveryLat.Record(int64(m.env.Now()) - f.firstFailAt)
+	}
 	for _, w := range f.waiters {
-		w()
+		w(nil)
 	}
 	m.recycleFetch(f)
+	return true
+}
+
+// completeError handles a completion error for f and reports whether the
+// record is terminal.
+func (m *Manager) completeError(f *Fetch, cerr error) bool {
+	s := f.Space
+	e := &s.ptes[f.VPN]
+	if f.firstFailAt < 0 {
+		f.firstFailAt = int64(m.env.Now())
+	}
+	if f.writeback {
+		if e.state != pageWriteback {
+			panic("paging: write-back completion on page not in write-back")
+		}
+		// Retried until durable: the frame stays in write-back state and
+		// keeps the dirty data; the page is never freed before the bytes
+		// are safely remote.
+		m.WritebackRetries.Inc()
+		m.scheduleRepost(f)
+		return false
+	}
+	if e.state != pageFetching {
+		panic("paging: fetch completion on page not fetching")
+	}
+	if !f.demand && len(f.waiters) == 0 {
+		// An optional prefetch nobody is waiting on: drop it.
+		m.PrefetchDrops.Inc()
+		e.state, e.fetch = pageAbsent, nil
+		m.freeFrame(f.frame)
+		m.recycleFetch(f)
+		return true
+	}
+	if f.attempts >= m.cfg.MaxFetchAttempts {
+		m.FetchAborts.Inc()
+		e.state, e.fetch = pageAbsent, nil
+		m.freeFrame(f.frame)
+		ferr := &FetchError{Space: s.name, VPN: f.VPN, Attempts: f.attempts, Err: cerr}
+		for _, w := range f.waiters {
+			w(ferr)
+		}
+		m.recycleFetch(f)
+		return true
+	}
+	m.FetchRetries.Inc()
+	m.scheduleRepost(f)
+	return false
+}
+
+// scheduleRepost re-posts f after an exponential backoff (base
+// Config.RetryBackoff, doubling per attempt, capped at 16×). Runs in
+// event context: no thread blocks on the retry itself.
+func (m *Manager) scheduleRepost(f *Fetch) {
+	m.env.After(m.backoff(f.attempts), func() { m.repost(f) })
+}
+
+func (m *Manager) backoff(attempts int) sim.Time {
+	shift := attempts - 1
+	if shift > 4 {
+		shift = 4
+	}
+	if shift < 0 {
+		shift = 0
+	}
+	return m.cfg.RetryBackoff << shift
+}
+
+// repost re-issues f's verb on its original QP. While that QP is still
+// draining/resetting or saturated, the retry waits another backoff
+// round without consuming an attempt.
+func (m *Manager) repost(f *Fetch) {
+	qp := f.qp
+	if qp.Errored() || qp.Full() {
+		m.env.After(m.cfg.RetryBackoff, func() { m.repost(f) })
+		return
+	}
+	s := f.Space
+	var err error
+	if f.writeback {
+		err = qp.PostWrite(s.region.Slice(f.VPN*PageSize, PageSize), m.frames[f.frame].data, f)
+	} else {
+		err = qp.PostRead(m.frames[f.frame].data, s.region.Slice(f.VPN*PageSize, PageSize), f)
+	}
+	if err != nil {
+		m.env.After(m.cfg.RetryBackoff, func() { m.repost(f) })
+		return
+	}
+	f.attempts++
 }
 
 // FetchLatency returns how long the fetch has been in flight at time

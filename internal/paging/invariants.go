@@ -11,6 +11,11 @@ import "fmt"
 //  2. Every resident PTE points at a frame that points back at it.
 //  3. No two PTEs share a frame.
 //  4. Fetching/write-back PTEs carry a fetch record for the right page.
+//  5. Dirty data is never lost to fault recovery: a dirty page is
+//     resident or in write-back (its frame held, not freed, not in the
+//     free list) until a write-back *succeeds* — an absent-but-dirty
+//     page would mean an eviction was observed before the memory node
+//     durably held the bytes.
 func (m *Manager) CheckInvariants() error {
 	inFree := make(map[int32]bool, len(m.free))
 	for _, fi := range m.free {
@@ -37,6 +42,9 @@ func (m *Manager) CheckInvariants() error {
 				if e.fetch != nil {
 					return fmt.Errorf("%s page %d absent but has fetch record", s.name, vpn)
 				}
+				if e.dirty {
+					return fmt.Errorf("%s page %d absent while dirty: reclaimed before write-back succeeded", s.name, vpn)
+				}
 			case pagePresent:
 				f := &m.frames[e.frame]
 				if f.state != frameResident || f.space != s.id || f.vpn != int64(vpn) {
@@ -53,6 +61,14 @@ func (m *Manager) CheckInvariants() error {
 				}
 				if e.fetch.Space != s || e.fetch.VPN != int64(vpn) {
 					return fmt.Errorf("%s page %d fetch record for wrong page", s.name, vpn)
+				}
+				if e.state == pageWriteback {
+					if f := &m.frames[e.fetch.frame]; f.state != frameWriteback {
+						return fmt.Errorf("%s page %d in write-back but frame %d state %d", s.name, vpn, e.fetch.frame, f.state)
+					}
+					if inFree[e.fetch.frame] {
+						return fmt.Errorf("%s page %d write-back frame %d is in the free list", s.name, vpn, e.fetch.frame)
+					}
 				}
 				if prev, dup := owner[e.fetch.frame]; dup {
 					return fmt.Errorf("frame %d shared by (%d,%d) and in-flight (%d,%d)", e.fetch.frame, prev[0], prev[1], s.id, vpn)

@@ -38,7 +38,10 @@ type Thread interface {
 	// worker's QP).
 	QP() *rdma.QP
 	// WaitPage blocks until the given page of the space is resident,
-	// driving the fault through Manager.RequestPage.
+	// driving the fault through Manager.RequestPage. If the fetch is
+	// abandoned after bounded retries (see Config.MaxFetchAttempts),
+	// WaitPage panics with *FetchError — the simulated SIGBUS — which
+	// the scheduler recovers into a failed request.
 	WaitPage(s *Space, vpn int64)
 }
 
@@ -113,6 +116,14 @@ type Config struct {
 	MapCost sim.Time
 	// ReclaimPageCost is the reclaimer CPU cost per evicted page.
 	ReclaimPageCost sim.Time
+
+	// MaxFetchAttempts bounds how many times a demand fetch is posted
+	// (first attempt plus retries) before the access fails with
+	// *FetchError. Write-backs are exempt: they retry until durable.
+	MaxFetchAttempts int
+	// RetryBackoff is the base delay before a failed fetch or
+	// write-back is re-posted; it doubles per attempt (capped at 16×).
+	RetryBackoff sim.Time
 }
 
 // DefaultConfig returns the calibrated paging model with the given local
@@ -129,6 +140,8 @@ func DefaultConfig(framePoolBytes int64) Config {
 		FaultEntryCost:   300,
 		MapCost:          200,
 		ReclaimPageCost:  250,
+		MaxFetchAttempts: 4,
+		RetryBackoff:     sim.Micros(10),
 	}
 }
 
@@ -167,6 +180,17 @@ type Manager struct {
 	PrefetchIssued  stats.Counter
 	PrefetchHits    stats.Counter // demand accesses absorbed by a prefetched page
 	AllocStalls     stats.Counter // allocations that blocked on an empty pool
+
+	// Fault-recovery counters (all zero on a reliable fabric).
+	FetchRetries     stats.Counter // failed demand fetches re-posted
+	FetchAborts      stats.Counter // demand fetches abandoned after MaxFetchAttempts
+	PrefetchDrops    stats.Counter // optional prefetches dropped on error
+	WritebackRetries stats.Counter // failed write-backs re-posted
+
+	// RecoveryLat records, per page movement that saw at least one
+	// completion error but eventually succeeded, the time from the
+	// first error to the successful completion.
+	RecoveryLat *stats.Histogram
 }
 
 // NewManager returns a manager with a frame pool of cfg.FramePoolBytes.
@@ -193,6 +217,13 @@ func NewManager(env *sim.Env, cfg Config) *Manager {
 	if m.cfg.PrefetchPolicy == NoPrefetch && m.cfg.Prefetch > 0 {
 		m.cfg.PrefetchPolicy = Sequential
 	}
+	if m.cfg.MaxFetchAttempts < 1 {
+		m.cfg.MaxFetchAttempts = 4
+	}
+	if m.cfg.RetryBackoff <= 0 {
+		m.cfg.RetryBackoff = sim.Micros(10)
+	}
+	m.RecoveryLat = stats.NewHistogram()
 	m.lruInit()
 	return m
 }

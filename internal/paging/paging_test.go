@@ -25,7 +25,7 @@ func (t *testThread) QP() *rdma.QP    { return t.qp }
 
 func (t *testThread) WaitPage(s *Space, vpn int64) {
 	for !s.Resident(vpn) {
-		if t.mgr.RequestPage(t, s, vpn, t.gate.Wake, true) {
+		if t.mgr.RequestPage(t, s, vpn, func(error) { t.gate.Wake() }, true) {
 			return
 		}
 		t.gate.Wait(t.proc)
@@ -56,7 +56,7 @@ func newRig(t *testing.T, frames int64, cfg func(*Config)) *rig {
 	// Auto-complete: apply fetch/write-back completions as they arrive.
 	cq.Notify = func() {
 		for _, comp := range cq.Poll(64) {
-			mgr.Complete(comp.Cookie.(*Fetch))
+			mgr.Complete(comp.Cookie.(*Fetch), comp.Err)
 		}
 	}
 	return &rig{env: env, mgr: mgr, nic: nic, node: memnode.New(1 << 30), cq: cq, qp: qp}

@@ -56,6 +56,7 @@ func (m *Manager) reclaimBatch(p *sim.Proc, qp *rdma.QP, cq *rdma.CQ, cqGate *si
 		m.unmapped(fi)
 		if e.dirty {
 			rec := m.newFetch(s, f.vpn, fi, true, false)
+			rec.qp = qp
 			e.state = pageWriteback
 			e.fetch = rec
 			f.state = frameWriteback
@@ -73,6 +74,10 @@ func (m *Manager) reclaimBatch(p *sim.Proc, qp *rdma.QP, cq *rdma.CQ, cqGate *si
 			m.freeFrame(fi)
 		}
 	}
+	// Wait for every write-back to become durable. A completion error
+	// re-arms the record (Complete returns false) and the retried post
+	// delivers a later completion on this same CQ, so the count only
+	// drops when the bytes are safely remote.
 	for inflight > 0 {
 		cs := cq.Poll(64)
 		if len(cs) == 0 {
@@ -80,8 +85,9 @@ func (m *Manager) reclaimBatch(p *sim.Proc, qp *rdma.QP, cq *rdma.CQ, cqGate *si
 			continue
 		}
 		for _, c := range cs {
-			m.Complete(c.Cookie.(*Fetch))
-			inflight--
+			if m.Complete(c.Cookie.(*Fetch), c.Err) {
+				inflight--
+			}
 		}
 	}
 }

@@ -1,0 +1,168 @@
+package rdma
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// scriptItc is a deterministic test interceptor: it fails the first
+// failN posted work requests, then behaves per the fixed delay/factor.
+type scriptItc struct {
+	failN  int
+	delay  sim.Time
+	factor float64
+	serve  sim.Time
+}
+
+func (s *scriptItc) WROutcome(kind OpKind, bytes int) (bool, sim.Time) {
+	if s.failN > 0 {
+		s.failN--
+		return true, 0
+	}
+	return false, s.delay
+}
+
+func (s *scriptItc) LinkFactor(at sim.Time) float64 {
+	if s.factor == 0 {
+		return 1
+	}
+	return s.factor
+}
+
+func (s *scriptItc) ServeDelay(at sim.Time) sim.Time { return s.serve }
+
+func TestErrorCompletionFlushesAndResets(t *testing.T) {
+	env := sim.NewEnv(1)
+	nic := testNIC(env)
+	nic.SetInterceptor(&scriptItc{failN: 1})
+	cq := NewCQ("cq")
+	qp := nic.CreateQP("qp", cq)
+	remote := make([]byte, 4096)
+	for i := range remote {
+		remote[i] = 0xEE
+	}
+
+	// Three in-flight reads: the first completes in error, pushing the QP
+	// into the error state; the trailing two must flush.
+	dsts := make([][]byte, 3)
+	for i := range dsts {
+		dsts[i] = make([]byte, 4096)
+		if err := qp.PostRead(dsts[i], remote, i); err != nil {
+			t.Fatalf("post %d: %v", i, err)
+		}
+	}
+	var errs []error
+	var rejected bool
+	cq.Notify = func() {
+		for _, c := range cq.Poll(16) {
+			errs = append(errs, c.Err)
+			if !rejected {
+				// While draining/resetting, new posts must be refused.
+				if err := qp.PostRead(make([]byte, 64), remote[:64], nil); err != ErrQPError {
+					t.Errorf("post during error state: %v, want ErrQPError", err)
+				}
+				rejected = true
+			}
+		}
+	}
+	env.RunAll()
+
+	if len(errs) != 3 || errs[0] != ErrWR || errs[1] != ErrWRFlushed || errs[2] != ErrWRFlushed {
+		t.Fatalf("completion errors = %v", errs)
+	}
+	for i, dst := range dsts {
+		if dst[0] != 0 {
+			t.Fatalf("failed read %d moved data", i)
+		}
+	}
+	if !rejected {
+		t.Fatal("error-state post rejection never exercised")
+	}
+	if qp.Errored() {
+		t.Fatal("QP still errored after drain + reset")
+	}
+	if nic.CompletionErrors.Value() != 3 || nic.QPResets.Value() != 1 {
+		t.Fatalf("errors = %d, resets = %d", nic.CompletionErrors.Value(), nic.QPResets.Value())
+	}
+
+	// After the reset cycle the QP must carry traffic again, correctly.
+	if err := qp.PostRead(dsts[0], remote, nil); err != nil {
+		t.Fatalf("post after reset: %v", err)
+	}
+	env.RunAll()
+	if dsts[0][0] != 0xEE {
+		t.Fatal("post-reset read moved no data")
+	}
+}
+
+func TestWaitSlotSurvivesErrorState(t *testing.T) {
+	env := sim.NewEnv(1)
+	cfg := DefaultConfig()
+	cfg.QPDepth = 1
+	nic := NewNIC(env, cfg)
+	nic.SetInterceptor(&scriptItc{failN: 1})
+	cq := NewCQ("cq")
+	qp := nic.CreateQP("qp", cq)
+	remote := make([]byte, 4096)
+
+	if err := qp.PostRead(make([]byte, 4096), remote, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The waiter parks on the full (and soon errored) QP; it must be
+	// released once the reset cycle finishes, not before.
+	var posted sim.Time
+	env.Go("waiter", func(p *sim.Proc) {
+		qp.WaitSlot(p)
+		if qp.Errored() {
+			t.Error("released while still errored")
+		}
+		if err := qp.PostRead(make([]byte, 4096), remote, nil); err != nil {
+			t.Errorf("post after wait: %v", err)
+		}
+		posted = p.Now()
+	})
+	env.RunAll()
+	if posted == 0 {
+		t.Fatal("waiter never released")
+	}
+	if cq.Len() != 2 {
+		t.Fatalf("completions = %d, want 2", cq.Len())
+	}
+}
+
+func TestRNRDelayDefersCompletion(t *testing.T) {
+	baseline := func(itc Interceptor) sim.Time {
+		env := sim.NewEnv(1)
+		nic := testNIC(env)
+		nic.SetInterceptor(itc)
+		cq := NewCQ("cq")
+		qp := nic.CreateQP("qp", cq)
+		var done sim.Time
+		cq.Notify = func() {
+			c := cq.Poll(1)[0]
+			if c.Err != nil {
+				t.Fatalf("unexpected error %v", c.Err)
+			}
+			done = c.At
+		}
+		if err := qp.PostRead(make([]byte, 4096), make([]byte, 4096), nil); err != nil {
+			t.Fatal(err)
+		}
+		env.RunAll()
+		return done
+	}
+	clean := baseline(nil)
+	delayed := baseline(&scriptItc{delay: sim.Micros(7)})
+	if delayed != clean+sim.Micros(7) {
+		t.Fatalf("RNR-delayed completion at %v, want %v", delayed, clean+sim.Micros(7))
+	}
+	slowed := baseline(&scriptItc{factor: 3})
+	if slowed <= clean {
+		t.Fatalf("degraded-link completion %v not after clean %v", slowed, clean)
+	}
+	stalled := baseline(&scriptItc{serve: sim.Micros(11)})
+	if stalled != clean+sim.Micros(11) {
+		t.Fatalf("stalled completion at %v, want %v", stalled, clean+sim.Micros(11))
+	}
+}

@@ -24,6 +24,22 @@ import (
 // pause until a slot frees (§5.2).
 var ErrQPFull = errors.New("rdma: send queue full")
 
+// ErrQPError is returned by Post* while the QP is in the error state:
+// after a work request completes in error, the QP accepts no new work
+// until its outstanding requests drain (completing flushed) and the
+// modify-QP reset cycle finishes.
+var ErrQPError = errors.New("rdma: QP in error state")
+
+// ErrWR marks a completion whose work request failed on the fabric (the
+// injected completion-with-error of the fault plan). The operation had
+// no effect: a READ copied nothing, a WRITE did not reach the region.
+var ErrWR = errors.New("rdma: work request completed in error")
+
+// ErrWRFlushed marks a completion flushed because its QP entered the
+// error state while the request was in flight, mirroring
+// IBV_WC_WR_FLUSH_ERR. The operation had no effect.
+var ErrWRFlushed = errors.New("rdma: work request flushed (QP error state)")
+
 // Config holds the fabric cost model. Defaults (DefaultConfig) are
 // calibrated so an unloaded 4 KiB READ completes in ≈2.4 µs, inside the
 // 2–3 µs the paper reports for 100 GbE ConnectX-6 NICs.
@@ -54,6 +70,11 @@ type Config struct {
 	// CQ poll; they are charged by the calling thread, not the NIC.
 	PostCost sim.Time
 	PollCost sim.Time
+
+	// ResetDelay is the time a QP spends in the reset cycle after its
+	// outstanding work requests drain from the error state (modify-QP
+	// RESET→INIT→RTR→RTS). Only reachable when faults are injected.
+	ResetDelay sim.Time
 }
 
 // DefaultConfig returns the calibrated 100 GbE fabric model.
@@ -66,6 +87,7 @@ func DefaultConfig() Config {
 		QPDepth:       128,
 		PostCost:      120,
 		PollCost:      80,
+		ResetDelay:    sim.Micros(3),
 	}
 }
 
@@ -93,6 +115,33 @@ type Completion struct {
 	Cookie any      // caller context, e.g. the faulting unithread
 	QP     *QP      // queue pair the work request was posted on
 	At     sim.Time // completion delivery time
+
+	// Err is nil on success; ErrWR for an injected fabric error,
+	// ErrWRFlushed for a request flushed by its QP's error state. On
+	// error no data moved: the caller must treat the operation as not
+	// having happened.
+	Err error
+}
+
+// Interceptor is the hook a fault plan uses to perturb fabric
+// operations. All methods are called synchronously from the simulated
+// event loop and must be deterministic functions of the plan's own
+// seeded state; a nil interceptor (the default) leaves the fabric
+// perfectly reliable and adds no random draws.
+type Interceptor interface {
+	// WROutcome is consulted once per posted work request. fail=true
+	// makes the request complete in error (and pushes its QP into the
+	// error state); delay adds RNR-NAK-style latency before the
+	// completion is delivered.
+	WROutcome(kind OpKind, bytes int) (fail bool, delay sim.Time)
+	// LinkFactor scales serialization and flight times for an operation
+	// posted at time at (≥ 1 during a link-degradation window, 1
+	// otherwise).
+	LinkFactor(at sim.Time) float64
+	// ServeDelay returns extra time an operation arriving at the memory
+	// node at time at must wait before being served (memory-node
+	// pause/stall windows).
+	ServeDelay(at sim.Time) sim.Time
 }
 
 // CQ is a completion queue. Completions from any number of QPs can be
@@ -166,7 +215,13 @@ type NIC struct {
 	ReadBytes  stats.Counter
 	WriteBytes stats.Counter
 
-	srv    *server // non-nil when two-sided serving is enabled
+	// CompletionErrors counts error completions (injected + flushed);
+	// QPResets counts completed QP reset cycles.
+	CompletionErrors stats.Counter
+	QPResets         stats.Counter
+
+	itc    Interceptor // nil unless a fault plan is installed
+	srv    *server     // non-nil when two-sided serving is enabled
 	nextQP int
 }
 
@@ -177,6 +232,10 @@ func NewNIC(env *sim.Env, cfg Config) *NIC {
 
 // Config returns the NIC's cost model.
 func (n *NIC) Config() Config { return n.cfg }
+
+// SetInterceptor installs a fault plan on the fabric. Must be called
+// before any operation is posted; nil removes it.
+func (n *NIC) SetInterceptor(itc Interceptor) { n.itc = itc }
 
 // StartWindow begins the utilization measurement window (end of warm-up).
 func (n *NIC) StartWindow() {
@@ -206,7 +265,15 @@ type QP struct {
 	freeAt      sim.Time // per-QP ordered-execution horizon
 	outstanding int
 
-	// fullWaiters are processes blocked in WaitSlot for a free WR slot.
+	// errored marks the QP's error state: after a completion error the
+	// QP rejects new posts while in-flight requests drain (their
+	// completions arrive flushed), then resetPending covers the modify-QP
+	// reset cycle. Both clear when the reset finishes.
+	errored      bool
+	resetPending bool
+
+	// fullWaiters are processes blocked in WaitSlot for a free WR slot
+	// (or for the error-state reset to finish).
 	fullWaiters []*sim.Proc
 	env         *sim.Env
 }
@@ -228,10 +295,16 @@ func (qp *QP) Name() string { return qp.name }
 // Full reports whether the QP is at depth.
 func (qp *QP) Full() bool { return qp.outstanding >= qp.nic.cfg.QPDepth }
 
-// WaitSlot blocks p until the QP has a free work-request slot. Used by
-// the fault handler when the QP saturates.
+// Errored reports whether the QP is in the error state (draining or
+// resetting after a completion error).
+func (qp *QP) Errored() bool { return qp.errored }
+
+// WaitSlot blocks p until the QP can accept a work request: a slot is
+// free and the QP is not in the error state. Used by the fault handler
+// when the QP saturates (§5.2) and while an errored QP drains and
+// resets.
 func (qp *QP) WaitSlot(p *sim.Proc) {
-	for qp.Full() {
+	for qp.Full() || qp.errored {
 		qp.fullWaiters = append(qp.fullWaiters, p)
 		p.Park()
 	}
@@ -245,6 +318,9 @@ func (qp *QP) PostRead(dst, src []byte, cookie any) error {
 	if len(dst) != len(src) {
 		return fmt.Errorf("rdma: read length mismatch: dst %d, src %d", len(dst), len(src))
 	}
+	if qp.errored {
+		return ErrQPError
+	}
 	if qp.Full() {
 		return ErrQPFull
 	}
@@ -253,9 +329,13 @@ func (qp *QP) PostRead(dst, src []byte, cookie any) error {
 	cfg := &qp.nic.cfg
 	env := qp.nic.env
 
-	arrive := qp.nic.serve(env.Now()+cfg.ReqFlight, n)
+	fail, extra, slow := qp.nic.intercept(OpRead, n)
+	arrive := qp.nic.serve(env.Now()+scale(cfg.ReqFlight, slow), n)
+	if itc := qp.nic.itc; itc != nil {
+		arrive += itc.ServeDelay(arrive)
+	}
 	start := maxTime(arrive, qp.freeAt, qp.nic.inFreeAt)
-	xfer := sim.Time(float64(n+cfg.WireOverhead) * cfg.CyclesPerByte)
+	xfer := sim.Time(float64(n+cfg.WireOverhead) * cfg.CyclesPerByte * slow)
 	done := start + xfer
 	qp.freeAt = done
 	qp.nic.inFreeAt = done
@@ -263,10 +343,18 @@ func (qp *QP) PostRead(dst, src []byte, cookie any) error {
 	qp.nic.Reads.Inc()
 	qp.nic.ReadBytes.Add(int64(n))
 
-	deliver := done + cfg.RespFlight
+	deliver := done + scale(cfg.RespFlight, slow) + extra
 	env.At(deliver, func() {
-		copy(dst, src)
-		qp.complete(Completion{Kind: OpRead, Bytes: n, Cookie: cookie, QP: qp, At: deliver})
+		c := Completion{Kind: OpRead, Bytes: n, Cookie: cookie, QP: qp, At: deliver}
+		switch {
+		case fail:
+			c.Err = ErrWR
+		case qp.errored:
+			c.Err = ErrWRFlushed
+		default:
+			copy(dst, src)
+		}
+		qp.complete(c)
 	})
 	return nil
 }
@@ -278,6 +366,9 @@ func (qp *QP) PostWrite(dst, src []byte, cookie any) error {
 	if len(dst) != len(src) {
 		return fmt.Errorf("rdma: write length mismatch: dst %d, src %d", len(dst), len(src))
 	}
+	if qp.errored {
+		return ErrQPError
+	}
 	if qp.Full() {
 		return ErrQPFull
 	}
@@ -286,9 +377,10 @@ func (qp *QP) PostWrite(dst, src []byte, cookie any) error {
 	cfg := &qp.nic.cfg
 	env := qp.nic.env
 
+	fail, extra, slow := qp.nic.intercept(OpWrite, n)
 	// WRITE data leaves the compute node immediately after the doorbell.
-	start := maxTime(env.Now()+cfg.ReqFlight/4, qp.freeAt, qp.nic.outFreeAt)
-	xfer := sim.Time(float64(n+cfg.WireOverhead) * cfg.CyclesPerByte)
+	start := maxTime(env.Now()+scale(cfg.ReqFlight/4, slow), qp.freeAt, qp.nic.outFreeAt)
+	xfer := sim.Time(float64(n+cfg.WireOverhead) * cfg.CyclesPerByte * slow)
 	done := start + xfer
 	qp.freeAt = done
 	qp.nic.outFreeAt = done
@@ -299,23 +391,81 @@ func (qp *QP) PostWrite(dst, src []byte, cookie any) error {
 	// The ack travels the remaining flight to the memory node (where a
 	// two-sided server, if any, must apply the write) plus the response
 	// flight back.
-	served := qp.nic.serve(done+cfg.ReqFlight*3/4, n)
-	deliver := served + cfg.RespFlight
+	arrive := done + scale(cfg.ReqFlight*3/4, slow)
+	if itc := qp.nic.itc; itc != nil {
+		arrive += itc.ServeDelay(arrive)
+	}
+	served := qp.nic.serve(arrive, n)
+	deliver := served + scale(cfg.RespFlight, slow) + extra
 	env.At(deliver, func() {
-		copy(dst, src)
-		qp.complete(Completion{Kind: OpWrite, Bytes: n, Cookie: cookie, QP: qp, At: deliver})
+		c := Completion{Kind: OpWrite, Bytes: n, Cookie: cookie, QP: qp, At: deliver}
+		switch {
+		case fail:
+			c.Err = ErrWR
+		case qp.errored:
+			c.Err = ErrWRFlushed
+		default:
+			copy(dst, src)
+		}
+		qp.complete(c)
 	})
 	return nil
 }
 
+// intercept consults the fault plan for one posted work request. With no
+// interceptor it is free: no draws, identity scaling.
+func (n *NIC) intercept(kind OpKind, bytes int) (fail bool, extra sim.Time, slow float64) {
+	if n.itc == nil {
+		return false, 0, 1
+	}
+	fail, extra = n.itc.WROutcome(kind, bytes)
+	return fail, extra, n.itc.LinkFactor(n.env.Now())
+}
+
+// scale multiplies a duration by the link-degradation factor. The
+// factor is exactly 1 outside degradation windows, keeping fault-free
+// timing bit-identical to the unscaled computation.
+func scale(d sim.Time, slow float64) sim.Time {
+	if slow == 1 {
+		return d
+	}
+	return sim.Time(float64(d) * slow)
+}
+
 func (qp *QP) complete(c Completion) {
 	qp.outstanding--
+	if c.Err != nil {
+		qp.nic.CompletionErrors.Inc()
+		qp.errored = true
+	}
+	if qp.errored {
+		qp.maybeReset()
+	}
 	if len(qp.fullWaiters) > 0 {
 		w := qp.fullWaiters[0]
 		qp.fullWaiters = qp.fullWaiters[1:]
 		qp.env.ScheduleResume(w, qp.env.Now())
 	}
 	qp.cq.push(c)
+}
+
+// maybeReset schedules the modify-QP reset cycle once an errored QP has
+// fully drained. When the cycle completes the QP accepts posts again and
+// every process parked in WaitSlot is released.
+func (qp *QP) maybeReset() {
+	if qp.resetPending || qp.outstanding > 0 {
+		return
+	}
+	qp.resetPending = true
+	qp.env.After(qp.nic.cfg.ResetDelay, func() {
+		qp.resetPending = false
+		qp.errored = false
+		qp.nic.QPResets.Inc()
+		for _, w := range qp.fullWaiters {
+			qp.env.ScheduleResume(w, qp.env.Now())
+		}
+		qp.fullWaiters = qp.fullWaiters[:0]
+	})
 }
 
 func maxTime(a, b, c sim.Time) sim.Time {

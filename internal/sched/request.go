@@ -37,6 +37,11 @@ type Request struct {
 	Faults      int
 	Preemptions int
 
+	// Failed marks a request aborted because a demand fetch exhausted
+	// its retry budget; its response is a small error reply and it must
+	// not count toward goodput.
+	Failed bool
+
 	// retired marks that the unithread finished while the dispatcher
 	// still owned the buffer (delegated TX): the TX-completion handler is
 	// then the last owner and recycles the record.

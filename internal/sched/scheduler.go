@@ -36,6 +36,10 @@ type Scheduler struct {
 	Completed  stats.Counter
 	OnComplete func(*Request)
 
+	// FaultAborts counts requests failed because a demand fetch was
+	// abandoned after bounded retries (Request.Failed is set on each).
+	FaultAborts stats.Counter
+
 	// Admit, if set, filters arriving packets before admission (e.g. the
 	// transport layer's duplicate suppression). Rejected packets are
 	// dropped silently and without consuming a unithread buffer.
@@ -100,13 +104,14 @@ func (s *Scheduler) newUnithread(w *Worker, req *Request) *Unithread {
 		u := s.freeUts[n-1]
 		s.freeUts[n-1] = nil
 		s.freeUts = s.freeUts[:n-1]
-		g, bf := u.gate, u.bodyFn
+		g, bf, orf := u.gate, u.bodyFn, u.onReadyFn
 		g.Reset()
-		*u = Unithread{sched: s, worker: w, gate: g, bodyFn: bf, req: req}
+		*u = Unithread{sched: s, worker: w, gate: g, bodyFn: bf, onReadyFn: orf, req: req}
 		return u
 	}
 	u := &Unithread{sched: s, worker: w, gate: sim.NewGate(s.env), req: req}
 	u.bodyFn = u.body
+	u.onReadyFn = u.onReady
 	return u
 }
 

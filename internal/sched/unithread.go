@@ -22,9 +22,17 @@ type Unithread struct {
 	runStart  sim.Time // when last placed on a core (preemption quantum)
 	noPreempt int      // >0 inside application critical sections
 
+	// ferr is the error (if any) delivered by the paging layer to the
+	// yield-mode wait callback: the pending fetch was abandoned after
+	// bounded retries. WaitPage re-raises it as a *FetchError panic.
+	ferr error
+
 	// bodyFn is the bound body method value, created once per context so
 	// recycled unithreads do not re-allocate the closure on every spawn.
 	bodyFn func(*sim.Proc)
+	// onReadyFn is the bound yield-mode fetch-completion callback,
+	// likewise created once so the fault path stays allocation-free.
+	onReadyFn func(error)
 	// finished is set just before the final core handoff; the worker
 	// recycles the context once it regains the core.
 	finished bool
@@ -117,7 +125,17 @@ func (u *Unithread) body(p *sim.Proc) {
 		p.Sleep(s.env.Rand().Exp(c.JitterMean))
 	}
 
-	resp, respBytes := s.handler(u, u.req.Pkt.Payload)
+	resp, respBytes, aborted := u.runHandler()
+	if aborted {
+		// A page this request demanded could not be fetched within the
+		// retry budget. Fail the request — with a (small) error response
+		// so client-side transport state is not wedged — instead of
+		// hanging the unithread forever.
+		s.FaultAborts.Inc()
+		u.req.Failed = true
+		u.noPreempt = 0 // any abandoned critical section dies with the request
+		resp, respBytes = nil, abortRespBytes
+	}
 	u.sendResponse(resp, respBytes)
 
 	u.req.Finished = p.Now()
@@ -127,6 +145,26 @@ func (u *Unithread) body(p *sim.Proc) {
 	}
 	u.finished = true
 	u.worker.runGate.Wake() // return the core; the unithread retires
+}
+
+// abortRespBytes is the wire size of the error response sent for a
+// request aborted by fetch failure.
+const abortRespBytes = 64
+
+// runHandler executes the application handler, converting a *FetchError
+// panic (a demand fetch abandoned after bounded retries — the simulated
+// SIGBUS) into an aborted=true return. Any other panic propagates.
+func (u *Unithread) runHandler() (resp any, respBytes int, aborted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(*paging.FetchError); !ok {
+				panic(r)
+			}
+			aborted = true
+		}
+	}()
+	resp, respBytes = u.sched.handler(u, u.req.Pkt.Payload)
+	return
 }
 
 // sendResponse transmits the reply. Under SyncTx the unithread
@@ -260,10 +298,12 @@ func (u *Unithread) WaitPage(sp *paging.Space, vpn int64) {
 	s.Trace.Instant(trace.KindFetch, w.id, "fault", start)
 
 	demand := true
+	var ferr error
 	switch s.cfg.Wait {
 	case Yield:
-		for !sp.Resident(vpn) {
-			if s.mgr.RequestPage(u, sp, vpn, u.markReady, demand) {
+		u.ferr = nil
+		for u.ferr == nil && !sp.Resident(vpn) {
+			if s.mgr.RequestPage(u, sp, vpn, u.onReadyFn, demand) {
 				break
 			}
 			demand = false
@@ -272,11 +312,13 @@ func (u *Unithread) WaitPage(sp *paging.Space, vpn int64) {
 			w.runGate.Wake()
 			u.gate.Wait(u.proc)
 		}
+		ferr, u.ferr = u.ferr, nil
 	case BusyWait:
-		for !sp.Resident(vpn) {
+		for ferr == nil && !sp.Resident(vpn) {
 			fired := false
-			onReady := func() {
+			onReady := func(e error) {
 				fired = true
+				ferr = e
 				w.cqGate.Wake()
 			}
 			if s.mgr.RequestPage(u, sp, vpn, onReady, demand) {
@@ -286,7 +328,7 @@ func (u *Unithread) WaitPage(sp *paging.Space, vpn int64) {
 			for !fired && !sp.Resident(vpn) {
 				if cs := w.cq.Poll(16); len(cs) > 0 {
 					for _, comp := range cs {
-						s.mgr.Complete(comp.Cookie.(*paging.Fetch))
+						s.mgr.Complete(comp.Cookie.(*paging.Fetch), comp.Err)
 					}
 					continue
 				}
@@ -300,12 +342,22 @@ func (u *Unithread) WaitPage(sp *paging.Space, vpn int64) {
 	}
 
 	u.req.RDMAWait += u.proc.Now() - start
+	if ferr != nil {
+		panic(ferr) // *FetchError; body's runHandler aborts the request
+	}
 	u.charge(s.mgr.Config().MapCost)
 }
 
-// markReady is the fetch-completion callback registered with the paging
-// layer under the yield policy: it moves the unithread to its worker's
-// ready list (step ⑧→⑨ of Figure 5).
+// onReady is the yield-mode fetch-completion callback registered with
+// the paging layer, via the pre-bound onReadyFn closure: record the
+// outcome and mark the unithread runnable.
+func (u *Unithread) onReady(err error) {
+	u.ferr = err
+	u.markReady()
+}
+
+// markReady moves the unithread to its worker's ready list (step ⑧→⑨
+// of Figure 5).
 func (u *Unithread) markReady() {
 	w := u.worker
 	w.ready = append(w.ready, u)

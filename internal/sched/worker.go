@@ -72,7 +72,7 @@ func (w *Worker) loop(p *sim.Proc) {
 			if cs := w.cq.Poll(32); len(cs) > 0 {
 				w.charge(s.cfg.Costs.CQPoll)
 				for _, c := range cs {
-					s.mgr.Complete(c.Cookie.(*paging.Fetch))
+					s.mgr.Complete(c.Cookie.(*paging.Fetch), c.Err)
 				}
 			}
 		}

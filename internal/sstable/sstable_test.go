@@ -40,7 +40,7 @@ func (t *ctxThread) Block(enqueue func(wake func())) {
 
 func (t *ctxThread) WaitPage(s *paging.Space, vpn int64) {
 	for !s.Resident(vpn) {
-		if t.mgr.RequestPage(t, s, vpn, t.gate.Wake, true) {
+		if t.mgr.RequestPage(t, s, vpn, func(error) { t.gate.Wake() }, true) {
 			return
 		}
 		t.gate.Wait(t.proc)
@@ -65,7 +65,7 @@ func harness(t *testing.T, cfg Config, localFrac float64, fn func(ctx workload.C
 	qp := nic.CreateQP("t", cq)
 	cq.Notify = func() {
 		for _, c := range cq.Poll(64) {
-			mgr.Complete(c.Cookie.(*paging.Fetch))
+			mgr.Complete(c.Cookie.(*paging.Fetch), c.Err)
 		}
 	}
 	rcq := rdma.NewCQ("reclaim")

@@ -134,6 +134,43 @@ func TestRetriesExhaustedReportsLost(t *testing.T) {
 	}
 }
 
+func TestStaleGenerationTimeoutIgnored(t *testing.T) {
+	// Service time sits just past the RTO: the client retransmits once,
+	// then the response to the original transmission acknowledges the
+	// request. Both armed timers are stale by the time they fire — the
+	// pre-retransmit one because gen advanced, the post-retransmit one
+	// because the entry is gone — and neither may retransmit again or
+	// declare the request lost.
+	env := sim.NewEnv(1)
+	net := ethernet.New(env, ethernet.DefaultConfig())
+	node := newEchoNode(env, net, 0, nil)
+	node.delay = sim.Micros(60)
+	cfg := Config{Window: 8, RTO: sim.Micros(50), MaxRetries: 10}
+	c := NewClient(env, net, cfg)
+	delivered := 0
+	c.OnDeliver = func(*ethernet.Packet) { delivered++ }
+	c.OnLost = func(pkt *ethernet.Packet) { t.Errorf("request %d declared lost", pkt.ID) }
+
+	env.Go("gen", func(p *sim.Proc) {
+		c.Send(&ethernet.Packet{ID: 1, Size: 64})
+	})
+	// Run far beyond every armed timer so a stale firing would be seen.
+	env.Run(sim.Millis(5))
+
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want exactly 1 (duplicate response must be dropped)", delivered)
+	}
+	if c.Retransmits.Value() != 1 {
+		t.Fatalf("retransmits = %d, want exactly 1 (stale timer must not re-fire)", c.Retransmits.Value())
+	}
+	if c.InFlight() != 0 {
+		t.Fatal("entry leaked after acknowledgement")
+	}
+	if len(node.got) != 2 {
+		t.Fatalf("node saw %d transmissions, want 2 (original + one retransmit)", len(node.got))
+	}
+}
+
 func TestDedupSuppressesDuplicates(t *testing.T) {
 	// A slow node (reply slower than RTO) triggers retransmission; the
 	// node-side filter must admit each request exactly once.

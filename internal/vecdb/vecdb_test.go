@@ -37,7 +37,7 @@ func (t *ctxThread) Block(enqueue func(wake func())) {
 
 func (t *ctxThread) WaitPage(s *paging.Space, vpn int64) {
 	for !s.Resident(vpn) {
-		if t.mgr.RequestPage(t, s, vpn, t.gate.Wake, true) {
+		if t.mgr.RequestPage(t, s, vpn, func(error) { t.gate.Wake() }, true) {
 			return
 		}
 		t.gate.Wait(t.proc)
@@ -71,7 +71,7 @@ func newRig(t *testing.T, cfg Config, localFrac float64) (*sim.Env, *paging.Mana
 	qp := nic.CreateQP("t", cq)
 	cq.Notify = func() {
 		for _, c := range cq.Poll(64) {
-			mgr.Complete(c.Cookie.(*paging.Fetch))
+			mgr.Complete(c.Cookie.(*paging.Fetch), c.Err)
 		}
 	}
 	rcq := rdma.NewCQ("reclaim")

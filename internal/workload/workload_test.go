@@ -79,7 +79,7 @@ func (t *arrayThread) Block(enqueue func(wake func())) {
 }
 func (t *arrayThread) WaitPage(s *paging.Space, vpn int64) {
 	for !s.Resident(vpn) {
-		if t.mgr.RequestPage(t, s, vpn, t.gate.Wake, true) {
+		if t.mgr.RequestPage(t, s, vpn, func(error) { t.gate.Wake() }, true) {
 			return
 		}
 		t.gate.Wait(t.proc)
@@ -99,7 +99,7 @@ func TestArrayAppVerifiesValues(t *testing.T) {
 	qp := nic.CreateQP("t", cq)
 	cq.Notify = func() {
 		for _, c := range cq.Poll(64) {
-			mgr.Complete(c.Cookie.(*paging.Fetch))
+			mgr.Complete(c.Cookie.(*paging.Fetch), c.Err)
 		}
 	}
 	rcq := rdma.NewCQ("reclaim")
