@@ -17,6 +17,11 @@
 // a different fault schedule. Without -faults nothing is injected and
 // output is byte-identical to builds without fault support.
 //
+// With -memnodes N, every built system stripes its backing store across
+// N memory nodes, each behind its own RDMA link (the shards experiment
+// additionally sweeps node count itself). The default of 1 reproduces
+// the paper's single-memory-node topology byte-for-byte.
+//
 // With -parallel N (default GOMAXPROCS), up to N simulations run
 // concurrently: the operating points inside each sweep fan out across
 // goroutines, and under -exp all whole experiments do too. Each point
@@ -51,6 +56,7 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrently-running simulations (1 = sequential)")
 	faultSpec := flag.String("faults", "", "fault plan, e.g. 'wr=0.01,rnr=0.001:5us,link=20ms:200us:4,mem=25ms:100us'")
 	faultSeed := flag.Int64("fault-seed", 0, "salt for the fault schedule (replays the workload under different faults)")
+	memnodes := flag.Int("memnodes", 1, "memory nodes every built system stripes its backing store across (1 = the paper's topology)")
 	flag.Parse()
 
 	if *list {
@@ -75,6 +81,7 @@ func main() {
 		}
 		bench.SetFaults(plan)
 	}
+	bench.SetMemNodes(*memnodes)
 
 	opt := bench.Options{Short: *short, Out: os.Stdout, Seed: *seed, Plot: *doPlot}
 	opt.SetParallel(*parallel)

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/kvs"
 	"repro/internal/sim"
 	"repro/internal/sstable"
@@ -40,6 +41,8 @@ func main() {
 	local := flag.Float64("local", 0.20, "local DRAM as a fraction of the working set")
 	ms := flag.Float64("ms", 0, "measurement window in simulated ms (0 = auto)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	memnodes := flag.Int("memnodes", 1, "memory nodes the backing store is striped across")
+	faultSpec := flag.String("faults", "", "fault plan (see EXPERIMENTS.md), e.g. 'node=0,mem=2ms:400us'")
 	cdf := flag.Bool("cdf", false, "print the e2e latency CDF")
 	traceOut := flag.String("trace", "", "write a chrome://tracing / Perfetto trace of the run to this file")
 	flag.Parse()
@@ -57,6 +60,15 @@ func main() {
 
 	cfg := core.Preset(mode, int64(*local*float64(size)))
 	cfg.Seed = *seed
+	cfg.MemNodes = *memnodes
+	if *faultSpec != "" {
+		plan, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adios-sim: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Faults = plan
+	}
 	sys := core.NewSystem(cfg)
 	app, _ := buildApp(sys, *appName)
 	if w, ok := app.(interface{ WarmCache() }); ok {
@@ -89,7 +101,16 @@ func main() {
 	fmt.Printf("latency     p50=%.1fus p99=%.1fus p99.9=%.1fus mean=%.1fus\n",
 		res.P50us, res.P99us, res.P999us, res.MeanUs)
 	fmt.Printf("rdma        link-util=%.1f%% faults=%d reads=%d writes=%d\n",
-		res.LinkUtil*100, res.Faults, sys.NIC.Reads.Value(), sys.NIC.Writes.Value())
+		res.LinkUtil*100, res.Faults, sys.Fabric.Reads(), sys.Fabric.Writes())
+	// Per-node stats only exist on a striped run, so a default
+	// single-node invocation prints byte-identically to older builds.
+	if len(sys.Fabric) > 1 {
+		for i, nic := range sys.Fabric {
+			fmt.Printf("  memnode %-2d reads=%d writes=%d errors=%d stalled-us=%.0f\n",
+				i, nic.Reads.Value(), nic.Writes.Value(), nic.CompletionErrors.Value(),
+				sim.Time(sys.Nodes[i].StalledTime()).Micros())
+		}
+	}
 	fmt.Printf("paging      evictions=%d writebacks=%d stalls=%d resident-frames=%d/%d\n",
 		sys.Mgr.Evictions.Value(), sys.Mgr.DirtyWritebacks.Value(), sys.Mgr.AllocStalls.Value(),
 		sys.Mgr.TotalFrames()-sys.Mgr.FreeFrames(), sys.Mgr.TotalFrames())
@@ -112,6 +133,18 @@ func main() {
 			sim.Time(h.P999()).Micros())
 	}
 	if rec != nil {
+		// One lane per memory node that had stall windows, so fault
+		// blast radius lines up against the worker timelines.
+		for i, node := range sys.Nodes {
+			ws := node.StallWindows()
+			if len(ws) == 0 {
+				continue
+			}
+			rec.NameTrack(3000+i, fmt.Sprintf("memnode %d", i))
+			for _, w := range ws {
+				rec.Span(trace.KindStall, 3000+i, "stall", sim.Time(w[0]), sim.Time(w[1]), nil)
+			}
+		}
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "adios-sim: %v\n", err)
@@ -154,22 +187,22 @@ func buildApp(sys *core.System, name string) (workload.App, int64) {
 	switch strings.ToLower(name) {
 	case "micro":
 		const size = 64 << 20
-		app := workload.NewArrayApp(sys.Mgr, sys.Node, size)
+		app := workload.NewArrayApp(sys.Mgr, sys.Mem, size)
 		return app, size
 	case "memcached128":
-		s := kvs.New(sys.Mgr, sys.Node, kvs.DefaultConfig(700_000, 128))
+		s := kvs.New(sys.Mgr, sys.Mem, kvs.DefaultConfig(700_000, 128))
 		return s, s.SpaceSize()
 	case "memcached1024":
-		s := kvs.New(sys.Mgr, sys.Node, kvs.DefaultConfig(160_000, 1024))
+		s := kvs.New(sys.Mgr, sys.Mem, kvs.DefaultConfig(160_000, 1024))
 		return s, s.SpaceSize()
 	case "rocksdb":
-		t := sstable.New(sys.Mgr, sys.Node, sstable.DefaultConfig(180_000, 1024))
+		t := sstable.New(sys.Mgr, sys.Mem, sstable.DefaultConfig(180_000, 1024))
 		return t, t.SpaceSize()
 	case "tpcc":
-		db := tpcc.New(sys.Env, sys.Mgr, sys.Node, tpcc.DefaultConfig(2))
+		db := tpcc.New(sys.Env, sys.Mgr, sys.Mem, tpcc.DefaultConfig(2))
 		return db, db.TotalBytes()
 	case "faiss":
-		idx := vecdb.New(sys.Mgr, sys.Node, vecdb.DefaultConfig(250_000))
+		idx := vecdb.New(sys.Mgr, sys.Mem, vecdb.DefaultConfig(250_000))
 		return idx, idx.SpaceSize()
 	default:
 		fmt.Fprintf(os.Stderr, "adios-sim: unknown app %q\n", name)

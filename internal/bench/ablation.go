@@ -57,7 +57,7 @@ type computeApp struct {
 	space  *paging.Space
 }
 
-func newComputeApp(mgr *paging.Manager, node *memnode.Node) *computeApp {
+func newComputeApp(mgr *paging.Manager, node memnode.Allocator) *computeApp {
 	region := node.MustAlloc("compute", 64*paging.PageSize)
 	sp := mgr.NewSpace("compute", region)
 	sp.Preload(0, sp.Size())
@@ -88,7 +88,7 @@ func (a *computeApp) Handler() workload.Handler {
 func AblCompute(opt Options) map[string][]Point {
 	mk := func(mut mutator) builder {
 		return buildPreset(1.0, mut, func(sys *core.System) workload.App {
-			return newComputeApp(sys.Mgr, sys.Node)
+			return newComputeApp(sys.Mgr, sys.Mem)
 		}, func() int64 { return 64 * paging.PageSize })
 	}
 	loads := opt.loads([]float64{500, 1000, 1500, 2000, 2500})
@@ -116,7 +116,7 @@ func AblWorkers(opt Options) []Point {
 		n := n
 		b := buildPreset(1.0, func(c *core.Config) { c.Sched.Workers = n },
 			func(sys *core.System) workload.App {
-				return newComputeApp(sys.Mgr, sys.Node)
+				return newComputeApp(sys.Mgr, sys.Mem)
 			}, func() int64 { return 64 * paging.PageSize })
 		// Offer load proportional to workers so each point probes its
 		// configuration's capacity region.

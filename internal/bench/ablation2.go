@@ -25,7 +25,7 @@ func AblTwoSided(opt Options) map[string][]Point {
 	oneSided := opt.sweep(microBuilder(0.20, nil), []core.Mode{core.Adios}, loads)
 	twoSided := opt.sweep(buildPreset(0.20, nil, func(sys *core.System) workload.App {
 		sys.NIC.EnableTwoSided(rdma.DefaultServerConfig())
-		app := workload.NewArrayApp(sys.Mgr, sys.Node, microArrayBytes)
+		app := workload.NewArrayApp(sys.Mgr, sys.Mem, microArrayBytes)
 		app.WarmCache()
 		return app
 	}, func() int64 { return microArrayBytes }), []core.Mode{core.Adios}, loads)
@@ -78,7 +78,7 @@ func AblEvict(opt Options) map[string][]Point {
 		var size int64
 		return buildPreset(0.20, func(c *core.Config) { c.Paging.Policy = policy },
 			func(sys *core.System) workload.App {
-				s := kvs.New(sys.Mgr, sys.Node, cfg)
+				s := kvs.New(sys.Mgr, sys.Mem, cfg)
 				s.WarmCache()
 				size = s.SpaceSize()
 				var app workload.App = s
@@ -144,7 +144,7 @@ func AblCanvas(opt Options) map[string][]Point {
 		cfg.AppPrefetch = appPrefetch
 		var size int64
 		return buildPreset(0.20, nil, func(sys *core.System) workload.App {
-			tab := sstable.New(sys.Mgr, sys.Node, cfg)
+			tab := sstable.New(sys.Mgr, sys.Mem, cfg)
 			tab.WarmCache()
 			size = tab.SpaceSize()
 			return tab
@@ -184,7 +184,7 @@ func AblMultiDispatch(opt Options) map[string][]Point {
 				c.Sched.Workers = nw
 				c.Sched.Dispatchers = nd
 			}, func(sys *core.System) workload.App {
-				return newComputeApp(sys.Mgr, sys.Node)
+				return newComputeApp(sys.Mgr, sys.Mem)
 			}, func() int64 { return 64 * paging.PageSize })
 			specs = append(specs, pointSpec{
 				b: b, mode: core.Adios, rps: float64(nw) * 420_000,

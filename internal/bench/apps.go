@@ -65,7 +65,7 @@ func memcachedBuilder(opt Options, valueSize int, mut mutator) builder {
 	probe := core.NewSystem(core.Preset(core.Adios, 1<<22))
 	size := kvs.New(probe.Mgr, probe.Node, cfg).SpaceSize()
 	return buildPreset(0.20, mut, func(sys *core.System) workload.App {
-		s := kvs.New(sys.Mgr, sys.Node, cfg)
+		s := kvs.New(sys.Mgr, sys.Mem, cfg)
 		s.WarmCache()
 		return s
 	}, func() int64 { return size })
@@ -78,7 +78,7 @@ func sstableBuilder(opt Options, mut mutator) builder {
 	probe := core.NewSystem(core.Preset(core.Adios, 1<<22))
 	size := sstable.New(probe.Mgr, probe.Node, cfg).SpaceSize()
 	return buildPreset(0.20, mut, func(sys *core.System) workload.App {
-		tab := sstable.New(sys.Mgr, sys.Node, cfg)
+		tab := sstable.New(sys.Mgr, sys.Mem, cfg)
 		tab.WarmCache()
 		return tab
 	}, func() int64 { return size })
@@ -90,7 +90,7 @@ func tpccBuilder(opt Options, mut mutator) builder {
 	probe := core.NewSystem(core.Preset(core.Adios, 1<<22))
 	size := tpcc.New(probe.Env, probe.Mgr, probe.Node, cfg).TotalBytes()
 	return buildPreset(0.20, mut, func(sys *core.System) workload.App {
-		db := tpcc.New(sys.Env, sys.Mgr, sys.Node, cfg)
+		db := tpcc.New(sys.Env, sys.Mgr, sys.Mem, cfg)
 		db.WarmCache()
 		return db
 	}, func() int64 { return size })
@@ -104,7 +104,7 @@ func vecdbBuilder(opt Options, mut mutator) builder {
 	bp := vecdb.NewBlueprint(cfg)
 	size := int64(cfg.N) * int64(8+cfg.Dim*4)
 	return buildPreset(0.20, mut, func(sys *core.System) workload.App {
-		idx := bp.Instantiate(sys.Mgr, sys.Node)
+		idx := bp.Instantiate(sys.Mgr, sys.Mem)
 		idx.WarmCache()
 		return idx
 	}, func() int64 { return size })

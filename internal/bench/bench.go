@@ -95,6 +95,23 @@ var faultPlan faults.Config
 // systems. Not safe to call concurrently with running experiments.
 func SetFaults(cfg faults.Config) { faultPlan = cfg }
 
+// memNodes is the process-wide memory-node count applied to every
+// system an experiment builds (installed from the CLI's -memnodes
+// flag). One node is the paper's topology and is byte-identical to a
+// build without sharding support. The shards experiment overrides it
+// per point for its node-count sweep.
+var memNodes = 1
+
+// SetMemNodes installs the default memory-node count for subsequently
+// built systems (n < 1 is treated as 1). Not safe to call concurrently
+// with running experiments.
+func SetMemNodes(n int) {
+	if n < 1 {
+		n = 1
+	}
+	memNodes = n
+}
+
 func (o *Options) printf(format string, args ...any) {
 	if o.Out != nil {
 		fmt.Fprintf(o.Out, format, args...)
@@ -166,6 +183,7 @@ func buildPreset(localFrac float64, mut mutator,
 		cfg := core.Preset(mode, local)
 		cfg.Seed = seed
 		cfg.Faults = faultPlan
+		cfg.MemNodes = memNodes
 		if mut != nil {
 			mut(&cfg)
 		}
@@ -451,6 +469,7 @@ var experiments = map[string]func(Options){
 	"abl-transport": func(o Options) { AblTransport(o) },
 	"infiniswap":    func(o Options) { Infiniswap(o) },
 	"resilience":    func(o Options) { Resilience(o) },
+	"shards":        func(o Options) { Shards(o) },
 }
 
 // Run executes the experiment with the given id. Returns an error for
@@ -475,6 +494,7 @@ func All() []string {
 		"abl-quantum", "abl-pool", "abl-twosided", "abl-steal",
 		"abl-ipi", "abl-evict", "abl-hugepage", "abl-canvas",
 		"abl-multidisp", "abl-transport", "infiniswap", "resilience",
+		"shards",
 	}
 }
 

@@ -29,7 +29,8 @@ func TestRunDispatchesAllIDs(t *testing.T) {
 	}
 	for _, id := range All() {
 		if !strings.HasPrefix(id, "fig") && !strings.HasPrefix(id, "table") &&
-			!strings.HasPrefix(id, "abl") && id != "infiniswap" && id != "resilience" {
+			!strings.HasPrefix(id, "abl") && id != "infiniswap" && id != "resilience" &&
+			id != "shards" {
 			t.Fatalf("unexpected id %q", id)
 		}
 	}

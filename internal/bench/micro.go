@@ -20,7 +20,7 @@ const microArrayBytes int64 = 64 << 20
 // given local-memory fraction.
 func microBuilder(localFrac float64, mut mutator) builder {
 	return buildPreset(localFrac, mut, func(sys *core.System) workload.App {
-		app := workload.NewArrayApp(sys.Mgr, sys.Node, microArrayBytes)
+		app := workload.NewArrayApp(sys.Mgr, sys.Mem, microArrayBytes)
 		app.WarmCache()
 		return app
 	}, func() int64 { return microArrayBytes })

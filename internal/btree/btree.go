@@ -52,7 +52,7 @@ type Tree struct {
 
 // New creates an empty tree inside a fresh region of node (capacity
 // pages of index space).
-func New(mgr *paging.Manager, node *memnode.Node, name string, capacityPages int64) *Tree {
+func New(mgr *paging.Manager, node memnode.Allocator, name string, capacityPages int64) *Tree {
 	if capacityPages < 4 {
 		capacityPages = 4
 	}

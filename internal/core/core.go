@@ -76,8 +76,17 @@ type Config struct {
 	PoolSize int
 	BufSize  int
 
-	// MemNodeBytes is the memory node capacity.
+	// MemNodeBytes is the per-memory-node capacity.
 	MemNodeBytes int64
+
+	// MemNodes is the number of memory nodes the backing store is
+	// striped across (0 or 1 = the paper's single memory node; a
+	// one-node run is byte-identical to the pre-sharding system).
+	MemNodes int
+
+	// Shard selects the shard-placement policy for multi-node runs;
+	// nil is Stripe (page p → node p mod N).
+	Shard Placement
 
 	// Faults is the fault-injection plan; the zero value disables
 	// injection entirely (no interceptor is installed, so fault-free runs
@@ -141,35 +150,74 @@ func Preset(mode Mode, localBytes int64) Config {
 	return cfg
 }
 
-// System is an assembled compute node + memory node + client network.
+// System is an assembled compute node + memory node(s) + client network.
 type System struct {
-	Cfg    Config
-	Env    *sim.Env
-	Net    *ethernet.Net
+	Cfg Config
+	Env *sim.Env
+	Net *ethernet.Net
+
+	// Fabric holds one NIC (one independent link) per memory node;
+	// NIC aliases Fabric[0] for single-node call sites.
+	Fabric rdma.Fabric
 	NIC    *rdma.NIC
+
+	// Nodes are the memory nodes, Mem the striped allocation view over
+	// them, and Shards the page→node map. Node aliases Nodes[0].
+	Nodes  []*memnode.Node
+	Mem    *memnode.Cluster
 	Node   *memnode.Node
-	Mgr    *paging.Manager
-	Pool   *unithread.Pool
-	Sched  *sched.Scheduler // nil until Start
-	Faults *faults.Injector // nil unless Cfg.Faults.Enabled()
+	Shards *ShardMap
+
+	Mgr   *paging.Manager
+	Pool  *unithread.Pool
+	Sched *sched.Scheduler // nil until Start
+
+	// Injectors is indexed by memory node; entries are nil for nodes
+	// the fault plan does not target (and the whole slice is nil when
+	// no plan is enabled). Faults aliases the first non-nil injector.
+	Injectors []*faults.Injector
+	Faults    *faults.Injector
 }
 
 // NewSystem builds the data plane. Applications then allocate their
-// spaces (via Mgr and Node) before Start wires the scheduler.
+// spaces (via Mgr and Mem) before Start wires the scheduler.
 func NewSystem(cfg Config) *System {
-	env := sim.NewEnv(cfg.Seed)
-	sys := &System{
-		Cfg:  cfg,
-		Env:  env,
-		Net:  ethernet.New(env, cfg.Eth),
-		NIC:  rdma.NewNIC(env, cfg.RDMA),
-		Node: memnode.New(cfg.MemNodeBytes),
-		Mgr:  paging.NewManager(env, cfg.Paging),
-		Pool: unithread.NewPool(cfg.PoolSize, cfg.BufSize),
+	n := cfg.MemNodes
+	if n < 1 {
+		n = 1
 	}
+	env := sim.NewEnv(cfg.Seed)
+	shards := NewShardMap(n, cfg.Shard)
+	nodes := make([]*memnode.Node, n)
+	for k := range nodes {
+		nodes[k] = memnode.New(cfg.MemNodeBytes)
+	}
+	sys := &System{
+		Cfg:    cfg,
+		Env:    env,
+		Net:    ethernet.New(env, cfg.Eth),
+		Fabric: rdma.NewFabric(env, cfg.RDMA, n),
+		Nodes:  nodes,
+		Node:   nodes[0],
+		Mem:    memnode.NewCluster(nodes, paging.PageSize, shards.Place()),
+		Shards: shards,
+		Mgr:    paging.NewManager(env, cfg.Paging),
+		Pool:   unithread.NewPool(cfg.PoolSize, cfg.BufSize),
+	}
+	sys.NIC = sys.Fabric[0]
 	if cfg.Faults.Enabled() {
-		sys.Faults = faults.New(cfg.Faults, sys.Node, cfg.Seed)
-		sys.NIC.SetInterceptor(sys.Faults)
+		sys.Injectors = make([]*faults.Injector, n)
+		for k := 0; k < n; k++ {
+			if !cfg.Faults.Targets(k) {
+				continue
+			}
+			inj := faults.NewForNode(cfg.Faults, nodes[k], cfg.Seed, k)
+			sys.Injectors[k] = inj
+			sys.Fabric[k].SetInterceptor(inj)
+			if sys.Faults == nil {
+				sys.Faults = inj
+			}
+		}
 	}
 	return sys
 }
@@ -177,11 +225,11 @@ func NewSystem(cfg Config) *System {
 // Start launches the scheduler (dispatcher + workers) for the given
 // handler and the pinned reclaimer thread.
 func (sys *System) Start(handler workload.Handler) {
-	sys.Sched = sched.New(sys.Env, sys.Cfg.Sched, sys.Net, sys.NIC, sys.Mgr, sys.Pool, handler)
+	sys.Sched = sched.New(sys.Env, sys.Cfg.Sched, sys.Net, sys.Fabric, sys.Mgr, sys.Pool, handler)
 	sys.Sched.Start()
 	rcq := rdma.NewCQ("reclaimer")
-	rqp := sys.NIC.CreateQP("reclaimer", rcq)
-	sys.Mgr.StartReclaimer(rqp, rcq)
+	rqps := sys.Fabric.CreateQPs("reclaimer", rcq)
+	sys.Mgr.StartReclaimerQPs(rqps, rcq)
 }
 
 // RunResult summarizes one measured run.
@@ -218,13 +266,13 @@ func (sys *System) Run(app workload.App, rateRPS float64, warmup, measure sim.Ti
 		gen.Classifier = c.Classify
 	}
 	sys.Env.At(warmup, func() {
-		sys.NIC.StartWindow()
+		sys.Fabric.StartWindow()
 		sys.Net.StartWindow()
 	})
 	// Capture utilization exactly at the window end, then drain so
 	// in-flight responses land.
 	var linkUtil float64
-	sys.Env.At(end, func() { linkUtil = sys.NIC.InUtilization() })
+	sys.Env.At(end, func() { linkUtil = sys.Fabric.InUtilization() })
 	sys.Env.Run(end + sim.Millis(50))
 
 	now := end

@@ -1,0 +1,72 @@
+package core
+
+import "fmt"
+
+// Placement is a shard-placement policy: a pure function from page
+// number to owning memory node. Implementations must be deterministic
+// and stateless so the page→node mapping is stable for the lifetime of
+// a run (regions are not re-striped).
+type Placement interface {
+	// Name identifies the policy in logs and experiment output.
+	Name() string
+	// Place returns the owning node (in [0, nodes)) for a page.
+	Place(page int64, nodes int) int
+}
+
+// Stripe is the default placement: page p lives on node p mod N. For
+// any aligned sequential range the per-node page counts differ by at
+// most one, so sequential scans load every link evenly.
+var Stripe Placement = stripePlacement{}
+
+type stripePlacement struct{}
+
+func (stripePlacement) Name() string { return "stripe" }
+
+func (stripePlacement) Place(page int64, nodes int) int {
+	return int(page % int64(nodes))
+}
+
+// ShardMap binds a placement policy to a concrete node count: the
+// shard map of one assembled system. It is the single source of truth
+// for page ownership — memnode regions, paging routes, and per-node
+// fault targeting all derive from it.
+type ShardMap struct {
+	nodes int
+	pol   Placement
+}
+
+// NewShardMap returns a shard map over n nodes (n < 1 is treated as
+// 1). A nil policy selects Stripe.
+func NewShardMap(n int, pol Placement) *ShardMap {
+	if n < 1 {
+		n = 1
+	}
+	if pol == nil {
+		pol = Stripe
+	}
+	return &ShardMap{nodes: n, pol: pol}
+}
+
+// Nodes returns the number of memory nodes.
+func (m *ShardMap) Nodes() int { return m.nodes }
+
+// Policy returns the placement policy.
+func (m *ShardMap) Policy() Placement { return m.pol }
+
+// Node returns the owning node for a page. A single-node map answers
+// without consulting the policy.
+func (m *ShardMap) Node(page int64) int {
+	if m.nodes == 1 {
+		return 0
+	}
+	n := m.pol.Place(page, m.nodes)
+	if n < 0 || n >= m.nodes {
+		panic(fmt.Sprintf("core: placement %q sent page %d to node %d of %d",
+			m.pol.Name(), page, n, m.nodes))
+	}
+	return n
+}
+
+// Place returns the page→node function in the form memnode.NewCluster
+// consumes.
+func (m *ShardMap) Place() func(page int64) int { return m.Node }

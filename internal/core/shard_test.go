@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestShardMapProperties is the property check of the shard map: every
+// page maps to exactly one node in range, the mapping is stable across
+// repeated queries, and striping spreads any aligned sequential range
+// evenly (per-node counts differ by at most one).
+func TestShardMapProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 3, 4, 7, 16} {
+		m := NewShardMap(n, nil)
+		if m.Nodes() != n {
+			t.Fatalf("Nodes() = %d, want %d", m.Nodes(), n)
+		}
+		if m.Policy().Name() != "stripe" {
+			t.Fatalf("default policy = %q", m.Policy().Name())
+		}
+
+		// Random pages: ownership is total, in range, and stable.
+		for i := 0; i < 2000; i++ {
+			page := rng.Int63n(1 << 40)
+			owner := m.Node(page)
+			if owner < 0 || owner >= n {
+				t.Fatalf("n=%d: page %d -> node %d out of range", n, page, owner)
+			}
+			for q := 0; q < 3; q++ {
+				if again := m.Node(page); again != owner {
+					t.Fatalf("n=%d: page %d moved from node %d to %d", n, page, owner, again)
+				}
+			}
+		}
+
+		// Sequential ranges with arbitrary start and length: stripe
+		// imbalance bounded by one page.
+		for trial := 0; trial < 50; trial++ {
+			start := rng.Int63n(1 << 30)
+			length := 1 + rng.Int63n(4096)
+			counts := make([]int64, n)
+			for p := start; p < start+length; p++ {
+				counts[m.Node(p)]++
+			}
+			min, max := counts[0], counts[0]
+			for _, c := range counts[1:] {
+				if c < min {
+					min = c
+				}
+				if c > max {
+					max = c
+				}
+			}
+			if max-min > 1 {
+				t.Fatalf("n=%d: range [%d,%d) imbalance %d", n, start, start+length, max-min)
+			}
+		}
+	}
+}
+
+type lastNode struct{}
+
+func (lastNode) Name() string                  { return "last" }
+func (lastNode) Place(page int64, nodes int) int { return nodes - 1 }
+
+type badPlacement struct{}
+
+func (badPlacement) Name() string                  { return "bad" }
+func (badPlacement) Place(page int64, nodes int) int { return nodes }
+
+// TestShardMapPolicyPluggable checks that a custom placement is honored
+// on multi-node maps, that single-node maps short-circuit, and that an
+// out-of-range placement panics rather than corrupting routing.
+func TestShardMapPolicyPluggable(t *testing.T) {
+	m := NewShardMap(4, lastNode{})
+	for p := int64(0); p < 100; p++ {
+		if m.Node(p) != 3 {
+			t.Fatalf("page %d -> %d, want 3", p, m.Node(p))
+		}
+	}
+
+	// A single-node map never consults the policy, even a broken one.
+	one := NewShardMap(1, badPlacement{})
+	if one.Node(7) != 0 {
+		t.Fatal("single-node map must answer 0")
+	}
+	// n < 1 clamps to one node.
+	if NewShardMap(0, nil).Nodes() != 1 {
+		t.Fatal("n=0 not clamped to 1")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range placement did not panic")
+		}
+	}()
+	NewShardMap(2, badPlacement{}).Node(5)
+}

@@ -50,9 +50,21 @@ type Config struct {
 	MemEvery sim.Time
 	MemFor   sim.Time
 
+	// Node restricts the plan to a single memory node (shard) when
+	// NodeSet is true; otherwise every node is targeted. The spec
+	// grammar sets both via "node=<i>". A single-node system treats
+	// "node=0" and the unrestricted plan identically.
+	Node    int
+	NodeSet bool
+
 	// Seed salts the fault streams independently of the run seed, so the
 	// same workload can be replayed under different fault schedules.
 	Seed int64
+}
+
+// Targets reports whether the plan injects faults on memory node i.
+func (c Config) Targets(i int) bool {
+	return c.Enabled() && (!c.NodeSet || c.Node == i)
 }
 
 // Enabled reports whether the plan injects anything.
@@ -84,13 +96,23 @@ type Injector struct {
 // the workload's draws. node may be nil when no memory node takes part
 // (unit tests); stall windows are then kept internal.
 func New(cfg Config, node *memnode.Node, runSeed int64) *Injector {
+	return NewForNode(cfg, node, runSeed, 0)
+}
+
+// NewForNode builds the injector for memory node nodeIdx of a sharded
+// backing store. Each node draws from its own stream triple — derived
+// from (runSeed, cfg.Seed, nodeIdx) — so per-node fault schedules are
+// mutually independent, and node 0's streams are exactly those of the
+// single-node New (a one-node run is byte-identical either way).
+func NewForNode(cfg Config, node *memnode.Node, runSeed int64, nodeIdx int) *Injector {
+	base := 8 * uint64(nodeIdx)
 	inj := &Injector{
 		cfg:   cfg,
 		node:  node,
-		wrRNG: sim.NewRNG(streamSeed(runSeed, cfg.Seed, 1)),
+		wrRNG: sim.NewRNG(streamSeed(runSeed, cfg.Seed, base+1)),
 	}
-	inj.link.init(sim.NewRNG(streamSeed(runSeed, cfg.Seed, 2)), cfg.LinkEvery, cfg.LinkFor)
-	inj.mem.init(sim.NewRNG(streamSeed(runSeed, cfg.Seed, 3)), cfg.MemEvery, cfg.MemFor)
+	inj.link.init(sim.NewRNG(streamSeed(runSeed, cfg.Seed, base+2)), cfg.LinkEvery, cfg.LinkFor)
+	inj.mem.init(sim.NewRNG(streamSeed(runSeed, cfg.Seed, base+3)), cfg.MemEvery, cfg.MemFor)
 	return inj
 }
 

@@ -28,8 +28,11 @@ func TestParseSpecRoundTrip(t *testing.T) {
 	if !cfg.Enabled() {
 		t.Fatal("plan not enabled")
 	}
-	if cfg.String() != spec {
-		t.Fatalf("String() = %q, want %q", cfg.String(), spec)
+	// The canonical form renders 1.5ms in exact whole microseconds so
+	// that every String() output re-parses to the identical plan.
+	canonical := "wr=0.01,rnr=0.005:20us,link=1500us:50us:4,mem=800us:100us,seed=7"
+	if cfg.String() != canonical {
+		t.Fatalf("String() = %q, want %q", cfg.String(), canonical)
 	}
 	// The canonical form must parse back to the same plan.
 	again, err := ParseSpec(cfg.String())

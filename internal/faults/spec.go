@@ -2,6 +2,7 @@ package faults
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -15,11 +16,13 @@ import (
 //	rnr=RATE:DUR         RNR-delay probability and mean delay
 //	link=EVERY:FOR:MULT  mean gap, mean duration, slowdown factor (> 1)
 //	mem=EVERY:FOR        memory-node stalls: mean gap, mean duration
+//	node=I               restrict the plan to memory node I (sharded runs)
 //	seed=N               fault-stream seed (also settable via -fault-seed)
 //
 // Durations accept "us"/"µs", "ms", "s" suffixes, or bare CPU cycles.
 // Example: "wr=0.01,rnr=0.005:20us,link=300us:50us:4,mem=800us:100us".
-// The empty string parses to the disabled plan.
+// With "node=2,mem=25ms:100us" only memory node 2 stalls; the other
+// shards stay healthy. The empty string parses to the disabled plan.
 func ParseSpec(spec string) (Config, error) {
 	var cfg Config
 	spec = strings.TrimSpace(spec)
@@ -54,8 +57,8 @@ func ParseSpec(spec string) (Config, error) {
 					return e
 				}
 				f, e := strconv.ParseFloat(p[2], 64)
-				if e != nil || f <= 1 {
-					return fmt.Errorf("slowdown factor %q must be > 1", p[2])
+				if e != nil || math.IsNaN(f) || math.IsInf(f, 0) || f <= 1 {
+					return fmt.Errorf("slowdown factor %q must be finite and > 1", p[2])
 				}
 				cfg.LinkFactor = f
 				return nil
@@ -67,6 +70,12 @@ func ParseSpec(spec string) (Config, error) {
 				}
 				return parseDur(p[1], &cfg.MemFor)
 			})
+		case "node":
+			n, e := strconv.Atoi(val)
+			if e != nil || n < 0 {
+				return Config{}, fmt.Errorf("faults: node %q: want a node index >= 0", val)
+			}
+			cfg.Node, cfg.NodeSet = n, true
 		case "seed":
 			n, e := strconv.ParseInt(val, 10, 64)
 			if e != nil {
@@ -74,7 +83,7 @@ func ParseSpec(spec string) (Config, error) {
 			}
 			cfg.Seed = n
 		default:
-			return Config{}, fmt.Errorf("faults: unknown class %q (want wr, rnr, link, mem, seed)", key)
+			return Config{}, fmt.Errorf("faults: unknown class %q (want wr, rnr, link, mem, node, seed)", key)
 		}
 		if err != nil {
 			return Config{}, err
@@ -100,6 +109,9 @@ func (c Config) String() string {
 	if c.MemEvery > 0 {
 		parts = append(parts, fmt.Sprintf("mem=%s:%s", durString(c.MemEvery), durString(c.MemFor)))
 	}
+	if c.NodeSet {
+		parts = append(parts, fmt.Sprintf("node=%d", c.Node))
+	}
 	if c.Seed != 0 {
 		parts = append(parts, fmt.Sprintf("seed=%d", c.Seed))
 	}
@@ -121,12 +133,18 @@ func parseArgs(key string, parts []string, want int, fn func([]string) error) er
 
 func parseRate(s string, out *float64) error {
 	f, err := strconv.ParseFloat(s, 64)
-	if err != nil || f < 0 || f > 1 {
+	// The negated comparison rejects NaN along with out-of-range values.
+	if err != nil || !(f >= 0 && f <= 1) {
 		return fmt.Errorf("rate %q must be in [0, 1]", s)
 	}
 	*out = f
 	return nil
 }
+
+// maxDurCycles bounds parsed durations (≈ 5.8 sim-days at 2 GHz). The
+// bound keeps every accepted duration exactly representable in float64,
+// so the canonical String form re-parses to the identical plan.
+const maxDurCycles = 1e15
 
 // parseDur parses a duration: "20us", "1.5ms", "2s", or bare cycles.
 func parseDur(s string, out *sim.Time) error {
@@ -143,17 +161,24 @@ func parseDur(s string, out *sim.Time) error {
 		num, mult = s[:len(s)-1], float64(sim.Millis(1000))
 	}
 	f, err := strconv.ParseFloat(num, 64)
-	if err != nil || f < 0 {
-		return fmt.Errorf("duration %q: want e.g. 20us, 1.5ms, or cycles", s)
+	if err != nil || math.IsNaN(f) || f < 0 || f*mult > maxDurCycles {
+		return fmt.Errorf("duration %q: want e.g. 20us, 1.5ms, or cycles (max %g cycles)", s, float64(maxDurCycles))
 	}
 	*out = sim.Time(f * mult)
 	return nil
 }
 
+// durString renders a duration in the spec grammar. Each branch is
+// exact — whole milliseconds, whole microseconds, or bare cycles — so
+// ParseSpec(String()) always recovers the identical duration.
 func durString(d sim.Time) string {
-	us := d.Micros()
-	if us >= 1000 {
-		return fmt.Sprintf("%gms", us/1000)
+	us, ms := sim.Micros(1), sim.Millis(1)
+	switch {
+	case d >= ms && d%ms == 0:
+		return fmt.Sprintf("%dms", int64(d/ms))
+	case d%us == 0:
+		return fmt.Sprintf("%dus", int64(d/us))
+	default:
+		return fmt.Sprintf("%d", int64(d))
 	}
-	return fmt.Sprintf("%gus", us)
 }

@@ -107,7 +107,7 @@ type Value struct {
 // New builds and loads the store: slot layout is computed, the backing
 // region is populated directly (setup time), and nothing is resident
 // until the caller warms the cache.
-func New(mgr *paging.Manager, node *memnode.Node, cfg Config) *Store {
+func New(mgr *paging.Manager, node memnode.Allocator, cfg Config) *Store {
 	if cfg.LoadFactor <= 0 || cfg.LoadFactor >= 1 {
 		panic(fmt.Sprintf("kvs: bad load factor %v", cfg.LoadFactor))
 	}

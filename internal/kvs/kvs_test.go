@@ -22,7 +22,7 @@ type ctxThread struct {
 }
 
 func (t *ctxThread) Proc() *sim.Proc    { return t.proc }
-func (t *ctxThread) QP() *rdma.QP       { return t.qp }
+func (t *ctxThread) QP(node int) *rdma.QP       { return t.qp }
 func (t *ctxThread) Rand() *sim.RNG     { return t.env.Rand() }
 func (t *ctxThread) Compute(d sim.Time) { t.proc.Sleep(d) }
 func (t *ctxThread) Probe()             {}

@@ -1,0 +1,135 @@
+package memnode
+
+import "fmt"
+
+// Allocator is the registration surface shared by a single Node and a
+// Cluster, so applications allocate their regions the same way whether
+// the backing store is one memory node or a striped set.
+type Allocator interface {
+	// Alloc registers a new region of the given size. Names must be
+	// unique across the backing store.
+	Alloc(name string, size int64) (*Region, error)
+	// MustAlloc is Alloc for setup code where failure is a
+	// configuration bug.
+	MustAlloc(name string, size int64) *Region
+	// Region returns the named region, or nil.
+	Region(name string) *Region
+}
+
+var (
+	_ Allocator = (*Node)(nil)
+	_ Allocator = (*Cluster)(nil)
+)
+
+// Cluster is an ordered set of memory nodes serving one compute node.
+// Regions allocated through it are striped page-wise across the nodes
+// by a placement function (the shard map): each page is owned by — and
+// its capacity charged to — exactly one node, and all fabric traffic
+// for the page uses the owner's link. A single-node cluster degenerates
+// to the plain Node path and is behaviourally identical to it.
+type Cluster struct {
+	nodes    []*Node
+	pageSize int64
+	place    func(page int64) int
+}
+
+// NewCluster builds a cluster over nodes with the given page size and
+// placement function (page number → owning node index). place may be
+// nil for a single-node cluster.
+func NewCluster(nodes []*Node, pageSize int64, place func(page int64) int) *Cluster {
+	if len(nodes) == 0 {
+		panic("memnode: cluster needs at least one node")
+	}
+	if pageSize <= 0 {
+		panic("memnode: cluster page size must be positive")
+	}
+	if len(nodes) > 1 && place == nil {
+		panic("memnode: multi-node cluster needs a placement function")
+	}
+	return &Cluster{nodes: nodes, pageSize: pageSize, place: place}
+}
+
+// NumNodes returns the number of memory nodes in the cluster.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Node returns the i-th memory node.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Alloc registers a region striped across the cluster. The region's
+// backing bytes are one contiguous slice (a region is a single virtual
+// object); ownership and capacity accounting are per page, with the
+// tail page charged at its actual size. Registration is atomic: either
+// every owning node accepts its share or nothing is registered.
+func (c *Cluster) Alloc(name string, size int64) (*Region, error) {
+	if len(c.nodes) == 1 {
+		return c.nodes[0].Alloc(name, size)
+	}
+	pages := (size + c.pageSize - 1) / c.pageSize
+	perNode := make([]int64, len(c.nodes))
+	for p := int64(0); p < pages; p++ {
+		b := c.pageSize
+		if p == pages-1 {
+			b = size - p*c.pageSize
+		}
+		owner := c.place(p)
+		if owner < 0 || owner >= len(c.nodes) {
+			return nil, fmt.Errorf("memnode: placement sent page %d to node %d (cluster has %d)",
+				p, owner, len(c.nodes))
+		}
+		perNode[owner] += b
+	}
+	// Two-phase: check every node before committing to any, so a
+	// failure leaves no partial registration behind.
+	for i, n := range c.nodes {
+		if _, dup := n.regions[name]; dup {
+			return nil, fmt.Errorf("memnode: region %q already exists on node %d", name, i)
+		}
+		if n.allocated+perNode[i] > n.capacity {
+			return nil, fmt.Errorf("memnode: node %d out of memory: %d requested, %d free",
+				i, perNode[i], n.capacity-n.allocated)
+		}
+	}
+	r := &Region{
+		Name:     name,
+		Data:     make([]byte, size),
+		nodes:    len(c.nodes),
+		pageSize: c.pageSize,
+		place:    c.place,
+	}
+	for i, n := range c.nodes {
+		n.regions[name] = r
+		n.allocated += perNode[i]
+	}
+	return r, nil
+}
+
+// MustAlloc is Alloc for setup code where failure is a configuration bug.
+func (c *Cluster) MustAlloc(name string, size int64) *Region {
+	r, err := c.Alloc(name, size)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Region returns the named region, or nil. Every owning node carries
+// the registration, so node 0's table is authoritative.
+func (c *Cluster) Region(name string) *Region { return c.nodes[0].Region(name) }
+
+// Allocated returns the registered bytes summed over all nodes.
+func (c *Cluster) Allocated() int64 {
+	var t int64
+	for _, n := range c.nodes {
+		t += n.allocated
+	}
+	return t
+}
+
+// Capacity returns the total capacity summed over all nodes.
+func (c *Cluster) Capacity() int64 {
+	var t int64
+	for _, n := range c.nodes {
+		t += n.capacity
+	}
+	return t
+}

@@ -17,9 +17,21 @@ import (
 // Region is a registered remote-memory region. Data is the authoritative
 // backing store for pages that are not resident in the compute node's
 // local cache.
+//
+// A region allocated through a Cluster is striped across the cluster's
+// nodes: Data stays one contiguous slice (the region is a single virtual
+// object), but each page has exactly one owning node — NodeOf — and all
+// fabric traffic for that page must go over the owner's link.
 type Region struct {
 	Name string
 	Data []byte
+
+	// Sharding metadata, set by Cluster.Alloc. nodes == 0 means the
+	// region is unsharded (allocated on a single Node): every page is
+	// owned by node 0.
+	nodes    int
+	pageSize int64
+	place    func(page int64) int
 }
 
 // Slice returns the byte view [off, off+n) of the region for use as the
@@ -27,11 +39,41 @@ type Region struct {
 // violation — the remote-key check a real HCA performs — and panic with
 // the region, offset, and size rather than a bare slice error.
 func (r *Region) Slice(off, n int64) []byte {
+	return r.SliceFor(off, n, -1, "")
+}
+
+// SliceFor is Slice with fault attribution: node and qp identify the
+// memory node and queue pair on whose behalf the access is made, so a
+// multi-node bounds violation names the shard and QP that issued it.
+// node < 0 means the requester is unknown (plain Slice).
+func (r *Region) SliceFor(off, n int64, node int, qp string) []byte {
 	if off < 0 || n < 0 || off+n > int64(len(r.Data)) {
-		panic(fmt.Sprintf("memnode: region %q: access [%d, %d) outside registered [0, %d)",
-			r.Name, off, off+n, len(r.Data)))
+		msg := fmt.Sprintf("memnode: region %q: access [%d, %d) outside registered [0, %d)",
+			r.Name, off, off+n, len(r.Data))
+		if node >= 0 {
+			msg += fmt.Sprintf(" (requested by node %d, qp %q)", node, qp)
+		}
+		panic(msg)
 	}
 	return r.Data[off : off+n]
+}
+
+// Nodes returns the number of cluster nodes the region is striped over
+// (1 for an unsharded region).
+func (r *Region) Nodes() int {
+	if r.nodes == 0 {
+		return 1
+	}
+	return r.nodes
+}
+
+// NodeOf returns the index of the node owning the given page of the
+// region. Unsharded regions are wholly owned by node 0.
+func (r *Region) NodeOf(page int64) int {
+	if r.nodes <= 1 || r.place == nil {
+		return 0
+	}
+	return r.place(page)
 }
 
 // Size returns the region length in bytes.
@@ -124,6 +166,14 @@ func (n *Node) AvailableAt(t int64) int64 {
 
 // StalledTime returns the total scheduled unavailability in cycles.
 func (n *Node) StalledTime() int64 { return n.stalled }
+
+// StallWindows returns a copy of the scheduled [from, until) stall
+// windows, for per-node trace lanes and diagnostics.
+func (n *Node) StallWindows() [][2]int64 {
+	out := make([][2]int64, len(n.stalls))
+	copy(out, n.stalls)
+	return out
+}
 
 // Allocated returns the number of registered bytes.
 func (n *Node) Allocated() int64 { return n.allocated }

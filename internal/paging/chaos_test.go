@@ -29,13 +29,20 @@ func (c *chaosItc) ServeDelay(at sim.Time) sim.Time { return 0 }
 type chaosThread struct {
 	proc *sim.Proc
 	qp   *rdma.QP
+	qps  []*rdma.QP // per-memory-node QPs; nil for single-node tests
 	mgr  *Manager
 	gate *sim.Gate
 	err  error
 }
 
 func (t *chaosThread) Proc() *sim.Proc { return t.proc }
-func (t *chaosThread) QP() *rdma.QP    { return t.qp }
+
+func (t *chaosThread) QP(node int) *rdma.QP {
+	if t.qps != nil {
+		return t.qps[node]
+	}
+	return t.qp
+}
 
 func (t *chaosThread) WaitPage(s *Space, vpn int64) {
 	t.err = nil
@@ -144,6 +151,149 @@ func TestChaosPagingSurvivesWRErrors(t *testing.T) {
 		nic.CompletionErrors.Value(), nic.QPResets.Value(),
 		mgr.FetchRetries.Value(), mgr.WritebackRetries.Value(),
 		aborted, mgr.RecoveryLat.Count())
+}
+
+// outageItc kills one memory node's link for a fixed window — every
+// work request in [killFrom, killUntil) completes in error — and
+// mirrors the node's scheduled stall windows into serve delays, the
+// same coupling faults.Injector provides.
+type outageItc struct {
+	env                 *sim.Env
+	killFrom, killUntil sim.Time
+	node                *memnode.Node
+}
+
+func (o *outageItc) WROutcome(kind rdma.OpKind, bytes int) (bool, sim.Time) {
+	now := o.env.Now()
+	return now >= o.killFrom && now < o.killUntil, 0
+}
+func (o *outageItc) LinkFactor(at sim.Time) float64 { return 1 }
+func (o *outageItc) ServeDelay(at sim.Time) sim.Time {
+	if d := sim.Time(o.node.AvailableAt(int64(at))) - at; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// TestChaosMultiNodeOutageConfinedToStripe is the multi-node chaos
+// test (run under -race in CI): a striped store/load workload over four
+// memory nodes while node 2 is first killed (all its WRs error for
+// 2 ms) and later stalled. Demand fetches to the dead stripe abort with
+// *FetchError after bounded retries — only that stripe may abort — and
+// dirty pages owned by it are retried until durable (invariant 5),
+// while the other three stripes stay correct and make progress. Every
+// operation must finish: no lost wake-ups.
+func TestChaosMultiNodeOutageConfinedToStripe(t *testing.T) {
+	env := sim.NewEnv(1)
+	cfg := DefaultConfig(12 * PageSize)
+	cfg.ReclaimThreshold = 0.3
+	cfg.ReclaimBatch = 4
+	mgr := NewManager(env, cfg)
+
+	const numNodes = 4
+	fab := rdma.NewFabric(env, rdma.DefaultConfig(), numNodes)
+	nodes := make([]*memnode.Node, numNodes)
+	for i := range nodes {
+		nodes[i] = memnode.New(1 << 30)
+	}
+	cluster := memnode.NewCluster(nodes, PageSize, func(page int64) int {
+		return int(page % numNodes)
+	})
+	const faulty = 2
+	fab[faulty].SetInterceptor(&outageItc{
+		env: env, killFrom: sim.Millis(2), killUntil: sim.Millis(4), node: nodes[faulty],
+	})
+	// A later pure-stall window: the node is unresponsive but its link
+	// delivers, so fetches stretch instead of failing.
+	nodes[faulty].Pause(int64(sim.Millis(6)), int64(sim.Millis(6)+sim.Micros(500)))
+
+	cq := rdma.NewCQ("test")
+	qps := fab.CreateQPs("app", cq)
+	cq.Notify = func() {
+		for _, comp := range cq.Poll(64) {
+			mgr.Complete(comp.Cookie.(*Fetch), comp.Err)
+		}
+	}
+	const pages = 100
+	region := cluster.MustAlloc("data", pages*PageSize)
+	sp := mgr.NewSpace("data", region)
+	rcq := rdma.NewCQ("reclaim")
+	mgr.StartReclaimerQPs(fab.CreateQPs("reclaim", rcq), rcq)
+
+	ref := make([]byte, pages*PageSize)
+	rng := sim.NewRNG(99)
+	aborted := 0
+	finished := false
+	env.Go("app", func(p *sim.Proc) {
+		th := &chaosThread{proc: p, qps: qps, mgr: mgr, gate: sim.NewGate(env)}
+		for op := 0; op < 3000; op++ {
+			func() {
+				off := rng.Int63n(pages*PageSize - 64)
+				n := 1 + rng.Intn(64)
+				defer func() {
+					if r := recover(); r != nil {
+						fe, ok := r.(*FetchError)
+						if !ok {
+							panic(r)
+						}
+						if owner := region.NodeOf(fe.VPN); owner != faulty {
+							t.Errorf("abort on vpn %d owned by healthy node %d", fe.VPN, owner)
+						}
+						aborted++
+					}
+				}()
+				if rng.Bool(0.5) {
+					buf := make([]byte, n)
+					for i := range buf {
+						buf[i] = byte(rng.Intn(256))
+					}
+					sp.Store(th, off, buf)
+					copy(ref[off:], buf)
+				} else {
+					got := make([]byte, n)
+					sp.Load(th, off, got)
+					if !bytes.Equal(got, ref[off:off+int64(n)]) {
+						t.Errorf("op %d: load mismatch at %d", op, off)
+					}
+				}
+			}()
+			if op%250 == 0 {
+				if err := mgr.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			p.Sleep(50)
+		}
+		finished = true
+	})
+	env.Run(sim.Seconds(120))
+
+	if !finished {
+		t.Fatal("workload did not finish: lost wake-up under node outage")
+	}
+	if err := mgr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if aborted == 0 {
+		t.Fatal("outage window produced no aborts")
+	}
+	if fab[faulty].CompletionErrors.Value() == 0 {
+		t.Fatal("faulty node's link saw no completion errors")
+	}
+	for i, nic := range fab {
+		if i != faulty && nic.CompletionErrors.Value() != 0 {
+			t.Fatalf("healthy node %d saw %d completion errors", i, nic.CompletionErrors.Value())
+		}
+	}
+	if mgr.WritebackRetries.Value() == 0 {
+		t.Fatal("no write-back retries: dead stripe's dirty pages never challenged")
+	}
+	if nodes[faulty].StalledTime() == 0 {
+		t.Fatal("stall window not scheduled")
+	}
+	t.Logf("aborts=%d errors=%d resets=%d fetchRetries=%d wbRetries=%d",
+		aborted, fab[faulty].CompletionErrors.Value(), fab[faulty].QPResets.Value(),
+		mgr.FetchRetries.Value(), mgr.WritebackRetries.Value())
 }
 
 // TestFetchAbortsAfterBoundedRetries drives every work request to

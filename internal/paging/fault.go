@@ -166,10 +166,11 @@ func (m *Manager) startFetch(t Thread, f *Fetch) {
 	fr := &m.frames[f.frame]
 	fr.space, fr.vpn, fr.state = s.id, vpn, frameFilling
 
-	qp := t.QP()
+	node := s.region.NodeOf(vpn)
+	qp := t.QP(node)
 	f.qp = qp
 	for {
-		err := qp.PostRead(fr.data, s.region.Slice(vpn*PageSize, PageSize), f)
+		err := qp.PostRead(fr.data, s.region.SliceFor(vpn*PageSize, PageSize, node, qp.Name()), f)
 		if err == nil {
 			return
 		}
@@ -185,7 +186,9 @@ func (m *Manager) issueAsync(t Thread, s *Space, vpn int64) bool {
 	if vpn >= s.Pages() || s.ptes[vpn].state != pageAbsent {
 		return true // nothing to do; not a resource failure
 	}
-	if t.QP().Full() || t.QP().Errored() {
+	node := s.region.NodeOf(vpn)
+	qp := t.QP(node)
+	if qp.Full() || qp.Errored() {
 		return false
 	}
 	fr, ok := m.tryAllocFrame()
@@ -193,13 +196,13 @@ func (m *Manager) issueAsync(t Thread, s *Space, vpn int64) bool {
 		return false
 	}
 	f := m.newFetch(s, vpn, fr, false, false)
-	f.qp = t.QP()
+	f.qp = qp
 	e := &s.ptes[vpn]
 	e.state = pageFetching
 	e.fetch = f
 	frm := &m.frames[fr]
 	frm.space, frm.vpn, frm.state = s.id, vpn, frameFilling
-	if err := t.QP().PostRead(frm.data, s.region.Slice(vpn*PageSize, PageSize), f); err != nil {
+	if err := qp.PostRead(frm.data, s.region.SliceFor(vpn*PageSize, PageSize, node, qp.Name()), f); err != nil {
 		// QP filled up between the check and the post; undo.
 		e.state, e.fetch = pageAbsent, nil
 		m.freeFrame(fr)
@@ -391,11 +394,12 @@ func (m *Manager) repost(f *Fetch) {
 		return
 	}
 	s := f.Space
+	remote := s.region.SliceFor(f.VPN*PageSize, PageSize, s.region.NodeOf(f.VPN), qp.Name())
 	var err error
 	if f.writeback {
-		err = qp.PostWrite(s.region.Slice(f.VPN*PageSize, PageSize), m.frames[f.frame].data, f)
+		err = qp.PostWrite(remote, m.frames[f.frame].data, f)
 	} else {
-		err = qp.PostRead(m.frames[f.frame].data, s.region.Slice(f.VPN*PageSize, PageSize), f)
+		err = qp.PostRead(m.frames[f.frame].data, remote, f)
 	}
 	if err != nil {
 		m.env.After(m.cfg.RetryBackoff, func() { m.repost(f) })

@@ -34,9 +34,10 @@ const PageShift = 12
 type Thread interface {
 	// Proc returns the simulated process to block and charge time on.
 	Proc() *sim.Proc
-	// QP returns the queue pair page fetches are issued on (the current
-	// worker's QP).
-	QP() *rdma.QP
+	// QP returns the queue pair page movements for the given memory
+	// node are issued on (the current worker's QP to that node). A
+	// single-node system always passes node 0.
+	QP(node int) *rdma.QP
 	// WaitPage blocks until the given page of the space is resident,
 	// driving the fault through Manager.RequestPage. If the fetch is
 	// abandoned after bounded retries (see Config.MaxFetchAttempts),

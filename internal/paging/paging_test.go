@@ -21,7 +21,7 @@ type testThread struct {
 }
 
 func (t *testThread) Proc() *sim.Proc { return t.proc }
-func (t *testThread) QP() *rdma.QP    { return t.qp }
+func (t *testThread) QP(node int) *rdma.QP    { return t.qp }
 
 func (t *testThread) WaitPage(s *Space, vpn int64) {
 	for !s.Resident(vpn) {

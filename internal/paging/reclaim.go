@@ -12,13 +12,22 @@ import (
 // actually stall. Dirty pages are written back to the memory node over
 // the given QP; the reclaimer polls cq for its own write completions.
 func (m *Manager) StartReclaimer(qp *rdma.QP, cq *rdma.CQ) *sim.Proc {
+	return m.StartReclaimerQPs([]*rdma.QP{qp}, cq)
+}
+
+// StartReclaimerQPs is StartReclaimer for a sharded backing store: one
+// write-back QP per memory node, indexed by node id, all completing on
+// cq. Each eviction's write-back is posted on the QP of the page's
+// owning node, so a degraded shard only slows write-backs of its own
+// stripe.
+func (m *Manager) StartReclaimerQPs(qps []*rdma.QP, cq *rdma.CQ) *sim.Proc {
 	cqGate := sim.NewGate(m.env)
 	cq.Notify = cqGate.Wake
 	return m.env.Go("reclaimer", func(p *sim.Proc) {
 		for {
 			m.reclaimGate.Wait(p)
 			for m.needReclaim() {
-				m.reclaimBatch(p, qp, cq, cqGate)
+				m.reclaimBatch(p, qps, cq, cqGate)
 			}
 		}
 	})
@@ -37,7 +46,7 @@ func (m *Manager) needReclaim() bool {
 
 // reclaimBatch evicts up to cfg.ReclaimBatch resident pages chosen by the
 // CLOCK algorithm, writing dirty ones back and waiting for those writes.
-func (m *Manager) reclaimBatch(p *sim.Proc, qp *rdma.QP, cq *rdma.CQ, cqGate *sim.Gate) {
+func (m *Manager) reclaimBatch(p *sim.Proc, qps []*rdma.QP, cq *rdma.CQ, cqGate *sim.Gate) {
 	victims := m.selectVictims(m.cfg.ReclaimBatch)
 	if len(victims) == 0 {
 		// Nothing evictable right now (everything in flight or free).
@@ -55,6 +64,8 @@ func (m *Manager) reclaimBatch(p *sim.Proc, qp *rdma.QP, cq *rdma.CQ, cqGate *si
 		m.Evictions.Inc()
 		m.unmapped(fi)
 		if e.dirty {
+			node := s.region.NodeOf(f.vpn)
+			qp := qps[node]
 			rec := m.newFetch(s, f.vpn, fi, true, false)
 			rec.qp = qp
 			e.state = pageWriteback
@@ -62,7 +73,7 @@ func (m *Manager) reclaimBatch(p *sim.Proc, qp *rdma.QP, cq *rdma.CQ, cqGate *si
 			f.state = frameWriteback
 			m.DirtyWritebacks.Inc()
 			for {
-				if err := qp.PostWrite(s.region.Slice(f.vpn*PageSize, PageSize), f.data, rec); err == nil {
+				if err := qp.PostWrite(s.region.SliceFor(f.vpn*PageSize, PageSize, node, qp.Name()), f.data, rec); err == nil {
 					break
 				}
 				qp.WaitSlot(p)

@@ -44,7 +44,7 @@ func newRig(t *testing.T, cfg Config, handler workload.Handler, localPages int64
 			return payload, 64
 		}
 	}
-	r.sched = New(env, cfg, r.net, r.nic, r.mgr, r.pool, handler)
+	r.sched = New(env, cfg, r.net, rdma.Fabric{r.nic}, r.mgr, r.pool, handler)
 	r.sched.Start()
 	rcq := rdma.NewCQ("reclaim")
 	r.mgr.StartReclaimer(r.nic.CreateQP("reclaim", rcq), rcq)
@@ -130,7 +130,7 @@ func TestPFAwarePicksLeastLoadedWorker(t *testing.T) {
 				if i == 2 {
 					break // worker 2 stays least loaded
 				}
-				if err := w.qp.PostRead(make([]byte, 1<<20), remote, nil); err != nil {
+				if err := w.qps[0].PostRead(make([]byte, 1<<20), remote, nil); err != nil {
 					t.Error(err)
 				}
 			}

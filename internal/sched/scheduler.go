@@ -22,7 +22,7 @@ type Scheduler struct {
 	env     *sim.Env
 	cfg     Config
 	net     *ethernet.Net
-	nic     *rdma.NIC
+	fab     rdma.Fabric
 	mgr     *paging.Manager
 	pool    *unithread.Pool
 	handler workload.Handler
@@ -140,9 +140,12 @@ type dispatcher struct {
 	rr      int
 }
 
-// New wires a scheduler. The caller starts it with Start after attaching
-// OnComplete hooks.
-func New(env *sim.Env, cfg Config, net *ethernet.Net, nic *rdma.NIC,
+// New wires a scheduler. fab carries one NIC per memory node; each
+// worker gets one fetch QP per node, all completing on the worker's
+// single fetch CQ, so the polling paths are node-count agnostic. The
+// caller starts the scheduler with Start after attaching OnComplete
+// hooks.
+func New(env *sim.Env, cfg Config, net *ethernet.Net, fab rdma.Fabric,
 	mgr *paging.Manager, pool *unithread.Pool, handler workload.Handler) *Scheduler {
 	if cfg.Workers <= 0 {
 		panic(fmt.Sprintf("sched: bad worker count %d", cfg.Workers))
@@ -154,7 +157,7 @@ func New(env *sim.Env, cfg Config, net *ethernet.Net, nic *rdma.NIC,
 		cfg.Dispatchers = cfg.Workers
 	}
 	s := &Scheduler{
-		env: env, cfg: cfg, net: net, nic: nic, mgr: mgr, pool: pool,
+		env: env, cfg: cfg, net: net, fab: fab, mgr: mgr, pool: pool,
 		handler: handler,
 		central: sim.NewQueue[workItem](env),
 	}
@@ -178,7 +181,7 @@ func New(env *sim.Env, cfg Config, net *ethernet.Net, nic *rdma.NIC,
 			txGate:   sim.NewGate(env),
 		}
 		w.cq = rdma.NewCQ(fmt.Sprintf("w%d-fetch", i))
-		w.qp = nic.CreateQP(fmt.Sprintf("w%d", i), w.cq)
+		w.qps = fab.CreateQPs(fmt.Sprintf("w%d", i), w.cq)
 		w.txCQ = rdma.NewCQ(fmt.Sprintf("w%d-tx", i))
 		if cfg.Tx == DelegatedTx {
 			w.txq = net.CreateTxQueue(fmt.Sprintf("w%d", i), disp.txCQ)

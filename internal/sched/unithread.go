@@ -54,8 +54,8 @@ func (u *Unithread) CriticalExit() {
 func (u *Unithread) Proc() *sim.Proc { return u.proc }
 
 // QP implements paging.Thread: faults are issued on the carrying
-// worker's queue pair.
-func (u *Unithread) QP() *rdma.QP { return u.worker.qp }
+// worker's queue pair to the page's owning memory node.
+func (u *Unithread) QP(node int) *rdma.QP { return u.worker.qps[node] }
 
 // Rand implements workload.Ctx.
 func (u *Unithread) Rand() *sim.RNG { return u.sched.env.Rand() }

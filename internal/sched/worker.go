@@ -20,8 +20,8 @@ type Worker struct {
 	disp  *dispatcher
 	proc  *sim.Proc
 
-	qp *rdma.QP // page-fetch queue pair
-	cq *rdma.CQ // page-fetch completions, polled by this worker
+	qps []*rdma.QP // page-fetch queue pairs, one per memory node
+	cq  *rdma.CQ   // page-fetch completions (all nodes), polled by this worker
 
 	txq    *ethernet.TxQueue
 	txCQ   *rdma.CQ // own TX completions (SyncTx mode only)
@@ -47,9 +47,15 @@ func (w *Worker) ID() int { return w.id }
 // (they are tracked separately as BusyWaitCycles).
 func (w *Worker) BusyCycles() int64 { return w.busyCycles }
 
-// Outstanding reports the worker QP's in-flight page fetches — the
-// congestion signal of Algorithm 1.
-func (w *Worker) Outstanding() int { return w.qp.Outstanding() }
+// Outstanding reports the worker's in-flight page fetches summed over
+// its per-node QPs — the congestion signal of Algorithm 1.
+func (w *Worker) Outstanding() int {
+	n := 0
+	for _, qp := range w.qps {
+		n += qp.Outstanding()
+	}
+	return n
+}
 
 // charge consumes worker-loop CPU (polling, switching) on this core.
 func (w *Worker) charge(d sim.Time) {

@@ -123,7 +123,7 @@ func valueByte(key uint64, i int) byte {
 // New builds the table: records are written directly into the backing
 // region (setup time) in sorted order, and the sparse index is built in
 // core.
-func New(mgr *paging.Manager, node *memnode.Node, cfg Config) *Table {
+func New(mgr *paging.Manager, node memnode.Allocator, cfg Config) *Table {
 	recordSize := int64(8 + cfg.ValueSize)
 	if cfg.IndexInterval <= 0 {
 		cfg.IndexInterval = int(paging.PageSize / recordSize)

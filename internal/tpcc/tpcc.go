@@ -150,7 +150,7 @@ func (m *mutex) unlock(ctx workload.Ctx) {
 }
 
 // New builds and populates the database.
-func New(env *sim.Env, mgr *paging.Manager, node *memnode.Node, cfg Config) *DB {
+func New(env *sim.Env, mgr *paging.Manager, node memnode.Allocator, cfg Config) *DB {
 	if cfg.Warehouses <= 0 {
 		panic("tpcc: need at least one warehouse")
 	}

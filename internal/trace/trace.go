@@ -27,6 +27,7 @@ const (
 	KindFetch    Kind = "fetch"     // request blocked on its page fetch (yielded)
 	KindDispatch Kind = "dispatch"  // dispatcher core activity
 	KindReclaim  Kind = "reclaim"   // reclaimer activity
+	KindStall    Kind = "mem-stall" // memory node unavailable (fault window)
 )
 
 // event is one Chrome trace "complete" event (ph=X).
@@ -47,6 +48,7 @@ type event struct {
 type Recorder struct {
 	events []event
 	limit  int
+	tracks []threadName
 }
 
 // New returns a recorder bounded to limit spans (0 = 1<<20). The bound
@@ -85,6 +87,17 @@ func (r *Recorder) Instant(kind Kind, tid int, name string, at sim.Time) {
 	})
 }
 
+// NameTrack labels an extra track (beyond the worker/dispatcher/
+// reclaimer lanes WriteJSON names itself) — e.g. one lane per memory
+// node at tid 3000+k showing its stall windows.
+func (r *Recorder) NameTrack(tid int, name string) {
+	if r == nil {
+		return
+	}
+	r.tracks = append(r.tracks, threadName{Name: "thread_name", Ph: "M",
+		PID: 1, TID: tid, Args: map[string]any{"name": name}})
+}
+
 // Len reports recorded spans.
 func (r *Recorder) Len() int {
 	if r == nil {
@@ -120,6 +133,9 @@ func (r *Recorder) WriteJSON(w io.Writer, workers, dispatchers int) error {
 	}
 	all = append(all, threadName{Name: "thread_name", Ph: "M",
 		PID: 1, TID: 2000, Args: map[string]any{"name": "reclaimer"}})
+	for _, tn := range r.tracks {
+		all = append(all, tn)
+	}
 	for _, e := range r.events {
 		all = append(all, e)
 	}

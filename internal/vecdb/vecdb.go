@@ -142,7 +142,7 @@ func NewBlueprint(cfg Config) *Blueprint {
 
 // Instantiate materializes the blueprint as an Index over the given
 // paging manager and memory node.
-func (bp *Blueprint) Instantiate(mgr *paging.Manager, node *memnode.Node) *Index {
+func (bp *Blueprint) Instantiate(mgr *paging.Manager, node memnode.Allocator) *Index {
 	cfg := bp.cfg
 	idx := &Index{cfg: cfg, mgr: mgr}
 	idx.recSize = int64(8 + cfg.Dim*4) // u32 id + padding + floats
@@ -172,7 +172,7 @@ func (bp *Blueprint) Instantiate(mgr *paging.Manager, node *memnode.Node) *Index
 }
 
 // New builds an index in one step (blueprint + instantiate).
-func New(mgr *paging.Manager, node *memnode.Node, cfg Config) *Index {
+func New(mgr *paging.Manager, node memnode.Allocator, cfg Config) *Index {
 	return NewBlueprint(cfg).Instantiate(mgr, node)
 }
 

@@ -42,7 +42,7 @@ func arraySeed(i int64) uint64 { return uint64(i)*0x9E3779B97F4A7C15 + 0x2545F49
 
 // NewArrayApp allocates a sizeBytes array of 8-byte values in remote
 // memory and seeds it. sizeBytes must be page-aligned.
-func NewArrayApp(mgr *paging.Manager, node *memnode.Node, sizeBytes int64) *ArrayApp {
+func NewArrayApp(mgr *paging.Manager, node memnode.Allocator, sizeBytes int64) *ArrayApp {
 	region := node.MustAlloc("array", sizeBytes)
 	a := &ArrayApp{
 		mgr:       mgr,

@@ -64,7 +64,7 @@ type arrayThread struct {
 }
 
 func (t *arrayThread) Proc() *sim.Proc    { return t.proc }
-func (t *arrayThread) QP() *rdma.QP       { return t.qp }
+func (t *arrayThread) QP(node int) *rdma.QP       { return t.qp }
 func (t *arrayThread) Rand() *sim.RNG     { return t.env.Rand() }
 func (t *arrayThread) Compute(d sim.Time) { t.proc.Sleep(d) }
 func (t *arrayThread) Probe()             {}
