@@ -29,6 +29,13 @@
 // (-seed, experiment, system, load index), and results are reassembled
 // in order, so the printed tables and CSV rows are byte-identical to
 // -parallel 1 (only the "## … done in" wall-clock values differ).
+//
+// -cpuprofile and -memprofile write runtime/pprof profiles covering the
+// whole invocation (all experiments, including -parallel fan-out);
+// -qdepth appends a "## qdepth" line reporting the pending-event
+// high-water mark across every simulation run — the depth the event
+// scheduler actually had to absorb. See EXPERIMENTS.md ("Profiling a
+// run").
 package main
 
 import (
@@ -38,12 +45,14 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/faults"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -57,6 +66,9 @@ func main() {
 	faultSpec := flag.String("faults", "", "fault plan, e.g. 'wr=0.01,rnr=0.001:5us,link=20ms:200us:4,mem=25ms:100us'")
 	faultSeed := flag.Int64("fault-seed", 0, "salt for the fault schedule (replays the workload under different faults)")
 	memnodes := flag.Int("memnodes", 1, "memory nodes every built system stripes its backing store across (1 = the paper's topology)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
+	qdepth := flag.Bool("qdepth", false, "report the pending-event high-water mark across all simulations")
 	flag.Parse()
 
 	if *list {
@@ -82,6 +94,10 @@ func main() {
 		bench.SetFaults(plan)
 	}
 	bench.SetMemNodes(*memnodes)
+	startProfiles(*cpuProfile, *memProfile)
+	if *qdepth {
+		sim.TrackMaxPending(true)
+	}
 
 	opt := bench.Options{Short: *short, Out: os.Stdout, Seed: *seed, Plot: *doPlot}
 	opt.SetParallel(*parallel)
@@ -89,8 +105,7 @@ func main() {
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "adios-bench: %v\n", err)
-			os.Exit(1)
+			die("adios-bench: %v\n", err)
 		}
 		defer f.Close()
 		csvFile = f
@@ -104,19 +119,71 @@ func main() {
 		// Experiments buffer their own output; the CSV header is written
 		// once here rather than through EnableCSV's first-writer-wins.
 		runAllParallel(ids, opt, csvFile, *parallel)
-		return
-	}
-	if csvFile != nil {
-		opt.EnableCSV(csvFile)
-	}
-	for _, id := range ids {
-		start := time.Now()
-		if err := bench.Run(id, opt); err != nil {
-			fmt.Fprintf(os.Stderr, "adios-bench: %v\n", err)
-			os.Exit(1)
+	} else {
+		if csvFile != nil {
+			opt.EnableCSV(csvFile)
 		}
-		fmt.Printf("## %s done in %s\n", id, time.Since(start).Round(time.Millisecond))
+		for _, id := range ids {
+			start := time.Now()
+			if err := bench.Run(id, opt); err != nil {
+				die("adios-bench: %v\n", err)
+			}
+			fmt.Printf("## %s done in %s\n", id, time.Since(start).Round(time.Millisecond))
+		}
 	}
+	if *qdepth {
+		fmt.Printf("## qdepth peak-pending-events=%d\n", sim.GlobalMaxPending())
+	}
+	stopProfiles()
+}
+
+// stopProfiles flushes any profiles startProfiles began; safe to call
+// more than once. Error paths must go through die so a truncated run
+// still leaves a readable profile behind.
+var stopProfiles = func() {}
+
+func startProfiles(cpuPath, memPath string) {
+	var stops []func()
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			die("adios-bench: %v\n", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			die("adios-bench: %v\n", err)
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if memPath != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "adios-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the retained heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "adios-bench: %v\n", err)
+			}
+		})
+	}
+	stopProfiles = func() {
+		for _, stop := range stops {
+			stop()
+		}
+		stopProfiles = func() {}
+	}
+}
+
+// die reports a fatal error after flushing profiles.
+func die(format string, args ...any) {
+	stopProfiles()
+	fmt.Fprintf(os.Stderr, format, args...)
+	os.Exit(1)
 }
 
 // runAllParallel runs experiments concurrently, each writing its tables
@@ -158,8 +225,7 @@ func runAllParallel(ids []string, opt bench.Options, csvFile io.Writer, parallel
 	for i, id := range ids {
 		r := &results[i]
 		if r.err != nil {
-			fmt.Fprintf(os.Stderr, "adios-bench: %v\n", r.err)
-			os.Exit(1)
+			die("adios-bench: %v\n", r.err)
 		}
 		os.Stdout.Write(r.out.Bytes())
 		if csvFile != nil {

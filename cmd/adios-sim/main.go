@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
@@ -45,12 +47,45 @@ func main() {
 	faultSpec := flag.String("faults", "", "fault plan (see EXPERIMENTS.md), e.g. 'node=0,mem=2ms:400us'")
 	cdf := flag.Bool("cdf", false, "print the e2e latency CDF")
 	traceOut := flag.String("trace", "", "write a chrome://tracing / Perfetto trace of the run to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
+	qdepth := flag.Bool("qdepth", false, "report the simulation's pending-event high-water mark")
 	flag.Parse()
 
 	mode, ok := modes[strings.ToLower(*modeName)]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "adios-sim: unknown mode %q\n", *modeName)
 		os.Exit(2)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adios-sim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "adios-sim: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "adios-sim: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the retained heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "adios-sim: %v\n", err)
+			}
+		}()
 	}
 
 	// Build the app against a sizing probe first to learn its footprint.
@@ -126,6 +161,9 @@ func main() {
 		fmt.Printf(" w%d=%.0f%%", w.ID(), float64(w.BusyCycles())/elapsed*100)
 	}
 	fmt.Printf(" disp=%.0f%%\n", float64(sys.Sched.DispatcherCycles())/elapsed*100)
+	if *qdepth {
+		fmt.Printf("qdepth      peak-pending-events=%d\n", sys.Env.MaxPending())
+	}
 	for _, class := range sortedClassNames(res) {
 		h := res.Gen.ByClass[class]
 		fmt.Printf("class %-9s n=%-8d p50=%.1fus p99=%.1fus p99.9=%.1fus\n",

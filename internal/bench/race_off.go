@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in; the
+// heaviest golden tests skip under it to keep the package inside the
+// default go-test timeout (see race_on.go).
+const raceEnabled = false

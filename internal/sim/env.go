@@ -14,68 +14,16 @@ type event struct {
 	proc *Proc
 }
 
-// eventHeap is a binary min-heap ordered by (at, seq). It is hand-rolled
-// (rather than container/heap) to avoid interface dispatch on the hottest
-// path of the simulator.
-type eventHeap struct {
-	ev []event
-}
-
-func (h *eventHeap) less(i, j int) bool {
-	a, b := &h.ev[i], &h.ev[j]
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-func (h *eventHeap) push(e event) {
-	h.ev = append(h.ev, e)
-	i := len(h.ev) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
-			break
-		}
-		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
-		i = parent
-	}
-}
-
-func (h *eventHeap) pop() event {
-	top := h.ev[0]
-	last := len(h.ev) - 1
-	h.ev[0] = h.ev[last]
-	h.ev[last] = event{} // release fn for GC
-	h.ev = h.ev[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		if l >= len(h.ev) {
-			break
-		}
-		c := l
-		if r < len(h.ev) && h.less(r, l) {
-			c = r
-		}
-		if !h.less(c, i) {
-			break
-		}
-		h.ev[i], h.ev[c] = h.ev[c], h.ev[i]
-		i = c
-	}
-	return top
-}
-
-// Env is a simulation environment: a virtual clock, an event queue, and
-// the machinery that runs processes one at a time. An Env is not safe for
-// concurrent use; all interaction must happen from the goroutine that
-// calls Run or from processes the Env itself is driving.
+// Env is a simulation environment: a virtual clock, an event queue (a
+// hierarchical timing wheel, see wheel.go), and the machinery that runs
+// processes one at a time. An Env is not safe for concurrent use; all
+// interaction must happen from the goroutine that calls Run or from
+// processes the Env itself is driving.
 type Env struct {
-	now  Time
-	heap eventHeap
-	seq  uint64
-	rng  *RNG
+	now Time
+	q   wheel
+	seq uint64
+	rng *RNG
 
 	// parked is the rendezvous on which a running process hands control
 	// back to the event loop (by parking or terminating). Because only one
@@ -109,7 +57,7 @@ func (e *Env) At(at Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
 	e.seq++
-	e.heap.push(event{at: at, seq: e.seq, fn: fn})
+	e.q.push(event{at: at, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d cycles from now.
@@ -123,11 +71,11 @@ func (e *Env) Stop() { e.stopped = true }
 // Run executes events until the clock would pass until, the queue drains,
 // or Stop is called. It returns the final simulated time.
 func (e *Env) Run(until Time) Time {
-	for !e.stopped && len(e.heap.ev) > 0 {
-		if e.heap.ev[0].at > until {
+	for !e.stopped {
+		ev, ok := e.q.popUntil(until)
+		if !ok {
 			break
 		}
-		ev := e.heap.pop()
 		e.now = ev.at
 		if ev.proc != nil {
 			e.runProcEvent(ev.proc)
@@ -144,8 +92,11 @@ func (e *Env) Run(until Time) Time {
 
 // RunAll executes events until the queue drains or Stop is called.
 func (e *Env) RunAll() Time {
-	for !e.stopped && len(e.heap.ev) > 0 {
-		ev := e.heap.pop()
+	for !e.stopped {
+		ev, ok := e.q.popUntil(maxTime)
+		if !ok {
+			break
+		}
 		e.now = ev.at
 		if ev.proc != nil {
 			e.runProcEvent(ev.proc)
@@ -158,7 +109,12 @@ func (e *Env) RunAll() Time {
 }
 
 // Pending reports the number of scheduled events, for tests.
-func (e *Env) Pending() int { return len(e.heap.ev) }
+func (e *Env) Pending() int { return e.q.count }
+
+// MaxPending reports the high-water mark of the pending-event count over
+// the environment's lifetime: the queue depth the scheduler actually had
+// to absorb, surfaced by the -qdepth flag of the shipped binaries.
+func (e *Env) MaxPending() int { return e.q.maxCount }
 
 // LiveProcs reports the number of processes that have started but not yet
 // terminated (parked or running), for leak detection in tests.

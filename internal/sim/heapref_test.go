@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// eventHeap is the simulator's previous event queue — a binary min-heap
+// ordered by (at, seq) — kept verbatim as a reference implementation for
+// the differential test below. The timing wheel (wheel.go) that replaced
+// it must dispatch in exactly the order this heap would.
+type eventHeap struct {
+	ev []event
+}
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := &h.ev[i], &h.ev[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.ev[0]
+	last := len(h.ev) - 1
+	h.ev[0] = h.ev[last]
+	h.ev[last] = event{} // release fn for GC
+	h.ev = h.ev[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= len(h.ev) {
+			break
+		}
+		c := l
+		if r < len(h.ev) && h.less(r, l) {
+			c = r
+		}
+		if !h.less(c, i) {
+			break
+		}
+		h.ev[i], h.ev[c] = h.ev[c], h.ev[i]
+		i = c
+	}
+	return top
+}
+
+// popUntil gives the heap the wheel's dispatch interface.
+func (h *eventHeap) popUntil(until Time) (event, bool) {
+	if len(h.ev) == 0 || h.ev[0].at > until {
+		return event{}, false
+	}
+	return h.pop(), true
+}
+
+// TestWheelMatchesHeapDifferential drives the timing wheel and the old
+// heap with one identical operation stream — bursts of pushes with
+// same-cycle seq ties, near and far horizons, window-boundary times, and
+// pops bounded by random `until` deadlines, including pushes into the
+// (cursor, until] gap after a bounded pop ran dry, exactly as Env.Run
+// produces them — and requires bit-identical dispatch order throughout.
+// Seeds are randomized; failures log the seed for replay.
+func TestWheelMatchesHeapDifferential(t *testing.T) {
+	seeds := []int64{1, 2, 42, 7777, time.Now().UnixNano()}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Logf("seed %d", seed)
+			diffOneSeed(t, seed)
+		})
+	}
+}
+
+func diffOneSeed(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	var w wheel
+	var h eventHeap
+	var now Time // lower bound for pushes, as Env.now is for At
+	var seq uint64
+
+	push := func(at Time) {
+		seq++
+		w.push(event{at: at, seq: seq})
+		h.push(event{at: at, seq: seq})
+	}
+	// randomAt picks scheduling times covering every placement class:
+	// the current cycle (seq ties), the level-0 window, mid-level
+	// horizons, far-future exponential tails, and exact aligned window
+	// boundaries where placement switches levels.
+	randomAt := func() Time {
+		switch rng.Intn(10) {
+		case 0, 1:
+			return now // same-cycle tie
+		case 2, 3, 4:
+			return now + Time(rng.Intn(wheelSize)) // level-0 window
+		case 5, 6:
+			return now + Time(rng.Intn(wheelSize*wheelSize)) // a cascade away
+		case 7:
+			// Exponential far tail, up to many levels out.
+			return now + Time(rng.ExpFloat64()*float64(uint64(1)<<uint(20+rng.Intn(20))))
+		case 8:
+			// Exact multiple-of-window boundary: the edge where an event
+			// moves from one level to the next.
+			span := Time(1) << uint((1+rng.Intn(4))*wheelBits)
+			return (now/span + Time(1+rng.Intn(3))) * span
+		default:
+			return now + 1
+		}
+	}
+
+	for op := 0; op < 4000; op++ {
+		switch rng.Intn(3) {
+		case 0: // push burst
+			for n := rng.Intn(8) + 1; n > 0; n-- {
+				push(randomAt())
+			}
+		case 1: // pop a handful, unbounded (RunAll-style)
+			for n := rng.Intn(6) + 1; n > 0; n-- {
+				we, wok := w.popUntil(maxTime)
+				he, hok := h.popUntil(maxTime)
+				if wok != hok || we.at != he.at || we.seq != he.seq {
+					t.Fatalf("op %d: wheel (%d,%d,%v) != heap (%d,%d,%v)",
+						op, we.at, we.seq, wok, he.at, he.seq, hok)
+				}
+				if !wok {
+					break
+				}
+				now = we.at
+			}
+		case 2: // drain to a deadline (Run(until)-style), then push into the gap
+			until := now + Time(rng.Intn(1<<uint(rng.Intn(22))))
+			for {
+				we, wok := w.popUntil(until)
+				he, hok := h.popUntil(until)
+				if wok != hok || we.at != he.at || we.seq != he.seq {
+					t.Fatalf("op %d until %d: wheel (%d,%d,%v) != heap (%d,%d,%v)",
+						op, until, we.at, we.seq, wok, he.at, he.seq, hok)
+				}
+				if !wok {
+					break
+				}
+				now = we.at
+			}
+			// Env.Run sets now = until when the queue runs dry early;
+			// subsequent At calls may land anywhere ≥ until, i.e. in the
+			// gap between the wheel's cursor and until.
+			now = until
+		}
+		if w.count != len(h.ev) {
+			t.Fatalf("op %d: wheel count %d != heap count %d", op, w.count, len(h.ev))
+		}
+	}
+	// Final full drain must agree event for event.
+	for {
+		we, wok := w.popUntil(maxTime)
+		he, hok := h.popUntil(maxTime)
+		if wok != hok || we.at != he.at || we.seq != he.seq {
+			t.Fatalf("drain: wheel (%d,%d,%v) != heap (%d,%d,%v)",
+				we.at, we.seq, wok, he.at, he.seq, hok)
+		}
+		if !wok {
+			return
+		}
+		now = we.at
+	}
+}

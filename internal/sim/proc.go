@@ -62,7 +62,7 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{env: e, name: name, body: fn}
 	e.nProcs++
 	e.seq++
-	e.heap.push(event{at: e.now, seq: e.seq, proc: p})
+	e.q.push(event{at: e.now, seq: e.seq, proc: p})
 	return p
 }
 
@@ -193,7 +193,7 @@ func (e *Env) scheduleResume(p *Proc, at Time) {
 		panic("sim: scheduling resume in the past for " + p.name)
 	}
 	e.seq++
-	e.heap.push(event{at: at, seq: e.seq, proc: p})
+	e.q.push(event{at: at, seq: e.seq, proc: p})
 }
 
 // Park blocks the process until some event resumes it via ScheduleResume.
@@ -221,6 +221,7 @@ func (p *Proc) Sleep(d Time) {
 // the runner pool. Called when a run finishes so that repeated
 // simulations (benchmark sweeps) do not leak goroutines.
 func (e *Env) releaseParked() {
+	e.foldMaxPending()
 	for e.parkedHead != nil {
 		p := e.parkedHead
 		e.unlinkParked(p)

@@ -1,0 +1,43 @@
+package sim
+
+import "sync/atomic"
+
+// Queue-depth reporting for the shipped binaries' -qdepth flag. A sweep
+// runs many environments, possibly concurrently (the parallel benchmark
+// runner), so the per-Env high-water marks are folded into one global
+// maximum with a CAS loop when each run finishes. Tracking is off by
+// default; folding costs nothing on the simulation hot path either way
+// because the per-Env mark is a plain compare in wheel.push.
+
+var (
+	trackPending     atomic.Bool
+	globalMaxPending atomic.Int64
+)
+
+// TrackMaxPending enables (and resets) or disables global pending-event
+// high-water-mark collection across all environments.
+func TrackMaxPending(on bool) {
+	trackPending.Store(on)
+	if on {
+		globalMaxPending.Store(0)
+	}
+}
+
+// GlobalMaxPending reports the largest pending-event count any tracked
+// environment reached since TrackMaxPending(true).
+func GlobalMaxPending() int64 { return globalMaxPending.Load() }
+
+// foldMaxPending publishes e's high-water mark into the global maximum.
+// Called whenever a run finishes; safe from concurrent environments.
+func (e *Env) foldMaxPending() {
+	if !trackPending.Load() {
+		return
+	}
+	mark := int64(e.q.maxCount)
+	for {
+		cur := globalMaxPending.Load()
+		if mark <= cur || globalMaxPending.CompareAndSwap(cur, mark) {
+			return
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package sim
+
+import "math/bits"
+
+// wheel is the simulator's event queue: a hierarchical timing wheel
+// (calendar queue) ordered by (at, seq), replacing the earlier binary
+// min-heap so that schedule and dispatch are O(1) regardless of how many
+// events are pending — at rack scale a single run carries hundreds of
+// thousands of QP timers, per-stripe write-backs, and fault timers, and
+// the queue is the hottest path in the repository.
+//
+// Layout. Level 0 has wheelSize one-cycle buckets covering the aligned
+// window of wheelSize cycles around the dispatch cursor `low`; level l
+// has wheelSize buckets of 2^(l·wheelBits) cycles covering the aligned
+// window of 2^((l+1)·wheelBits) cycles. Seven 10-bit levels span 2^70
+// cycles, more than all of Time, so there is no separate overflow
+// structure — the top level is the overflow ladder. An event at time T
+// lives at the
+// lowest level whose current window contains T; as `low` advances into a
+// higher-level bucket, that bucket cascades down (each event is replaced
+// at its new, strictly lower level), so every event cascades at most
+// wheelLevels-1 times: O(1) amortized. Per-level occupancy bitmaps make
+// skipping empty buckets a TrailingZeros64 scan rather than a walk.
+//
+// Near-future fast path: the dominant schedule pattern — fixed NIC, link
+// and paging latencies a few hundred cycles out — lands inside level 0's
+// 1024-cycle window and is placed with one XOR, one compare, and one
+// append; no Len64, no cascading, ever. The bucket count per level
+// (wheelBits) is a cache trade-off: real runs are sparse (events ~100
+// cycles apart over millisecond horizons), so giant levels thrash the
+// cache during bitmap scans and cascades, while tiny levels cascade too
+// often. 1024 buckets keeps each level's header+bitmap ~24 KiB — L2
+// resident — and was measured fastest end-to-end (see BENCH_sim.json).
+//
+// Determinism. Dispatch order is bit-identical to the heap's (at, seq)
+// order, argued in two parts (see DESIGN.md for the long form):
+//
+//   - Across distinct times, level-0 buckets are one cycle wide and the
+//     bitmap scan visits them in time order, so ordering is exact.
+//   - Within one time T, events fire in seq (schedule) order because
+//     every bucket slice is appended to in seq order: placement is a
+//     pure function of (T, low), `low` only enters a bucket's span by
+//     cascading that bucket first, and cascading preserves slice order —
+//     so an event pushed later (higher seq) can never end up ahead of an
+//     earlier one in any bucket it shares.
+//
+// The zero value is an empty queue with the cursor at time 0. Level
+// bucket arrays are allocated lazily on first use, so short simulations
+// that never schedule past a few milliseconds pay for two levels only.
+type wheel struct {
+	low      Time // dispatch cursor: no pending event is earlier
+	count    int  // pending events
+	maxCount int  // high-water mark of count, for -qdepth reporting
+	headIdx  int  // level-0 bucket being drained (guards head)
+	head     int  // next undispatched element of that bucket
+	levels   [wheelLevels]wheelLevel
+}
+
+const (
+	wheelBits   = 10              // bits per level; 1024 buckets
+	wheelSize   = 1 << wheelBits  // buckets per level
+	wheelMask   = wheelSize - 1   // bucket index mask
+	wheelLevels = 7               // 7×10 = 70 bits: covers all of Time
+	wheelWords  = wheelSize / 64  // occupancy bitmap words per level
+	maxTime     = Time(1<<63 - 1) // RunAll's "until"
+)
+
+type wheelLevel struct {
+	occ     [wheelWords]uint64 // bit i set ⇔ buckets[i] has undrained events
+	sum     uint16             // bit w set ⇔ occ[w] != 0; makes scans O(1)
+	buckets [][]event          // nil until the level is first used
+}
+
+// push enqueues e. e.at must be ≥ the dispatch cursor, which Env
+// guarantees by rejecting scheduling in the past.
+func (w *wheel) push(e event) {
+	w.count++
+	if w.count > w.maxCount {
+		w.maxCount = w.count
+	}
+	w.place(e)
+}
+
+// place files e into the lowest level whose current window contains
+// e.at. Shared by push and cascade (which must not re-count). The
+// level-0 case — both direct near-future pushes and every cascaded
+// event's final hop — is specialized to skip the level computation and
+// variable shift.
+func (w *wheel) place(e event) {
+	if diff := uint64(e.at ^ w.low); diff < wheelSize {
+		lv := &w.levels[0]
+		if lv.buckets == nil {
+			lv.buckets = make([][]event, wheelSize)
+		}
+		idx := int(e.at) & wheelMask
+		lv.buckets[idx] = append(lv.buckets[idx], e)
+		lv.occ[idx>>6] |= 1 << (idx & 63)
+		lv.sum |= 1 << (idx >> 6)
+		return
+	}
+	w.placeSlow(e)
+}
+
+func (w *wheel) placeSlow(e event) {
+	l := (bits.Len64(uint64(e.at^w.low)) - 1) / wheelBits
+	lv := &w.levels[l]
+	if lv.buckets == nil {
+		lv.buckets = make([][]event, wheelSize)
+	}
+	idx := int(uint64(e.at)>>(uint(l)*wheelBits)) & wheelMask
+	lv.buckets[idx] = append(lv.buckets[idx], e)
+	lv.occ[idx>>6] |= 1 << (idx & 63)
+	lv.sum |= 1 << (idx >> 6)
+}
+
+// popUntil removes and returns the earliest pending event if its time is
+// ≤ until; otherwise it returns false and leaves the event queued. The
+// cursor never advances past until, so events may still be scheduled
+// anywhere ≥ until afterwards.
+func (w *wheel) popUntil(until Time) (event, bool) {
+	for w.count > 0 {
+		lv := &w.levels[0]
+		if lv.buckets != nil {
+			if i, ok := lv.scan(int(w.low) & wheelMask); ok {
+				at := (w.low &^ Time(wheelMask)) | Time(i)
+				if at > until {
+					return event{}, false
+				}
+				w.low = at
+				if w.headIdx != i {
+					w.headIdx, w.head = i, 0
+				}
+				bkt := lv.buckets[i]
+				ev := bkt[w.head]
+				bkt[w.head] = event{} // release fn for GC
+				w.head++
+				if w.head == len(bkt) {
+					lv.buckets[i] = bkt[:0]
+					lv.occ[i>>6] &^= 1 << (i & 63)
+					if lv.occ[i>>6] == 0 {
+						lv.sum &^= 1 << (i >> 6)
+					}
+					w.headIdx = -1
+				}
+				w.count--
+				return ev, true
+			}
+		}
+		if !w.advance(until) {
+			return event{}, false
+		}
+	}
+	return event{}, false
+}
+
+// advance pulls the next occupied bucket from the lowest level that has
+// one down into the levels below it, moving the cursor to that bucket's
+// start. It returns false — leaving the cursor ≤ until — if the next
+// pending event lies in a bucket starting after until. Only called with
+// level 0 empty from the cursor onward.
+func (w *wheel) advance(until Time) bool {
+	for l := 1; l < wheelLevels; l++ {
+		// The first candidate bucket is the one just past the window the
+		// levels below cover. If that crosses into the next level-l
+		// window, this level is exhausted too (and, by the placement
+		// invariant, empty): move up.
+		below := (w.low | Time(uint64(1)<<(uint(l)*wheelBits)-1)) + 1
+		from := int(uint64(below)>>(uint(l)*wheelBits)) & wheelMask
+		if from == 0 {
+			continue
+		}
+		lv := &w.levels[l]
+		if lv.buckets == nil {
+			continue
+		}
+		j, ok := lv.scan(from)
+		if !ok {
+			continue
+		}
+		shift := uint(l+1) * wheelBits // ≥ 64 at the top level: mask is all ones
+		windowMask := uint64(1)<<shift - 1
+		start := Time(uint64(w.low)&^windowMask | uint64(j)<<(uint(l)*wheelBits))
+		if start > until {
+			return false
+		}
+		w.cascade(lv, j, start)
+		return true
+	}
+	panic("sim: wheel has pending events but found none to dispatch")
+}
+
+// cascade re-files every event of level-l bucket j into the levels below
+// it, advancing the cursor to the bucket's start time. Slice order — and
+// with it seq order among same-time events — is preserved.
+func (w *wheel) cascade(lv *wheelLevel, j int, start Time) {
+	w.low = start
+	w.headIdx = -1
+	lv.occ[j>>6] &^= 1 << (j & 63)
+	if lv.occ[j>>6] == 0 {
+		lv.sum &^= 1 << (j >> 6)
+	}
+	bkt := lv.buckets[j]
+	lv.buckets[j] = bkt[:0] // keep capacity; re-placement never refills it
+	for i := range bkt {
+		w.place(bkt[i])
+		bkt[i] = event{}
+	}
+}
+
+// scan returns the index of the first occupied bucket ≥ from, if any.
+// Buckets below the current window's cursor position are always empty,
+// so the scan never needs to wrap. The summary word makes it O(1): one
+// masked occ probe, then a TrailingZeros16 jump straight to the next
+// non-empty word — sparse windows cost two loads instead of a 16-word
+// walk, which measurably mattered at real runs' ~100-cycle event gaps.
+func (lv *wheelLevel) scan(from int) (int, bool) {
+	wi := from >> 6
+	word := lv.occ[wi] &^ (uint64(1)<<(from&63) - 1)
+	if word != 0 {
+		return wi<<6 + bits.TrailingZeros64(word), true
+	}
+	rest := lv.sum >> (uint(wi) + 1)
+	if rest == 0 {
+		return 0, false
+	}
+	wi += 1 + bits.TrailingZeros16(rest)
+	return wi<<6 + bits.TrailingZeros64(lv.occ[wi]), true
+}
