@@ -19,8 +19,8 @@ type ctxThread struct {
 	gate *sim.Gate
 }
 
-func (t *ctxThread) Proc() *sim.Proc { return t.proc }
-func (t *ctxThread) QP(node int) *rdma.QP    { return t.qp }
+func (t *ctxThread) Proc() *sim.Proc      { return t.proc }
+func (t *ctxThread) QP(node int) *rdma.QP { return t.qp }
 func (t *ctxThread) WaitPage(s *paging.Space, vpn int64) {
 	for !s.Resident(vpn) {
 		if t.mgr.RequestPage(t, s, vpn, func(error) { t.gate.Wake() }, true) {

@@ -61,12 +61,12 @@ func TestShardMapProperties(t *testing.T) {
 
 type lastNode struct{}
 
-func (lastNode) Name() string                  { return "last" }
+func (lastNode) Name() string                    { return "last" }
 func (lastNode) Place(page int64, nodes int) int { return nodes - 1 }
 
 type badPlacement struct{}
 
-func (badPlacement) Name() string                  { return "bad" }
+func (badPlacement) Name() string                    { return "bad" }
 func (badPlacement) Place(page int64, nodes int) int { return nodes }
 
 // TestShardMapPolicyPluggable checks that a custom placement is honored

@@ -106,6 +106,72 @@ type Net struct {
 	TxCount   stats.Counter
 
 	txBusy stats.WindowedBusy
+
+	freeOps *netOp // recycled in-flight frame records
+}
+
+// netOp is one in-flight wire action: a request arriving at the RX ring,
+// a response reaching the generator, or a TX completion landing in a CQ.
+// The records are pooled per Net and carry a callback closure built once
+// at allocation, so the steady-state send paths schedule wheel events
+// with zero allocations — one event per action, at the same times and in
+// the same order as the per-packet closures they replace.
+type netOp struct {
+	n    *Net
+	txq  *TxQueue
+	pkt  *Packet
+	at   sim.Time
+	kind uint8
+	run  func()
+	next *netOp
+}
+
+const (
+	opRxArrive = uint8(iota)
+	opDeliver
+	opTxComplete
+)
+
+func (n *Net) getOp() *netOp {
+	op := n.freeOps
+	if op == nil {
+		op = &netOp{n: n}
+		op.run = op.fire
+		return op
+	}
+	n.freeOps = op.next
+	op.next = nil
+	return op
+}
+
+// fire performs the op's action. The record is released before the
+// action runs — handlers (dispatcher wake-ups, the generator's response
+// accounting) may send more frames, and those sends may reuse it.
+func (op *netOp) fire() {
+	n, txq, pkt, at, kind := op.n, op.txq, op.pkt, op.at, op.kind
+	op.txq, op.pkt = nil, nil
+	op.next = n.freeOps
+	n.freeOps = op
+	switch kind {
+	case opRxArrive:
+		if n.rxLen() >= n.cfg.RxRing {
+			n.Drops.Inc()
+			return
+		}
+		pkt.ArriveNode = at
+		n.rx = append(n.rx, pkt)
+		n.RxCount.Inc()
+		if n.RxNotify != nil {
+			n.RxNotify()
+		}
+	case opDeliver:
+		pkt.RxTime = at
+		if n.OnDeliver != nil {
+			n.OnDeliver(pkt)
+		}
+	case opTxComplete:
+		txq.cq.Inject(rdma.Completion{Kind: rdma.OpWrite, Bytes: pkt.Size, Cookie: pkt, At: at})
+	}
 }
 
 // New returns a client network bound to env.
@@ -139,18 +205,9 @@ func (n *Net) SendToNode(pkt *Packet) {
 	done := start + xfer
 	n.toNodeFreeAt = done
 	arrive := done + n.cfg.Flight
-	n.env.At(arrive, func() {
-		if n.rxLen() >= n.cfg.RxRing {
-			n.Drops.Inc()
-			return
-		}
-		pkt.ArriveNode = arrive
-		n.rx = append(n.rx, pkt)
-		n.RxCount.Inc()
-		if n.RxNotify != nil {
-			n.RxNotify()
-		}
-	})
+	op := n.getOp()
+	op.kind, op.pkt, op.at = opRxArrive, pkt, arrive
+	n.env.At(arrive, op.run)
 }
 
 func (n *Net) rxLen() int { return len(n.rx) - n.rxHead }
@@ -215,14 +272,12 @@ func (t *TxQueue) Send(pkt *Packet) {
 	n.TxCount.Inc()
 
 	deliver := done + n.cfg.Flight
-	n.env.At(deliver, func() {
-		pkt.RxTime = deliver
-		if n.OnDeliver != nil {
-			n.OnDeliver(pkt)
-		}
-	})
+	op := n.getOp()
+	op.kind, op.pkt, op.at = opDeliver, pkt, deliver
+	n.env.At(deliver, op.run)
+
 	complete := done + n.cfg.TxCompletionLatency
-	n.env.At(complete, func() {
-		t.cq.Inject(rdma.Completion{Kind: rdma.OpWrite, Bytes: pkt.Size, Cookie: pkt, At: complete})
-	})
+	op = n.getOp()
+	op.kind, op.txq, op.pkt, op.at = opTxComplete, t, pkt, complete
+	n.env.At(complete, op.run)
 }

@@ -52,28 +52,40 @@ func Start(env *sim.Env, net *ethernet.Net, app workload.App, rateRPS float64, w
 	net.OnDeliver = g.onDeliver
 	g.SendFn = net.SendToNode
 	interval := sim.Time(float64(sim.CyclesPerSec) / rateRPS)
-	env.Go("loadgen", func(p *sim.Proc) {
-		rng := env.Rand()
-		for {
-			p.Sleep(rng.Exp(interval))
-			if p.Now() >= end {
-				return
-			}
-			payload, reqBytes := app.NextRequest(rng)
-			g.nextID++
-			pkt := &ethernet.Packet{
-				ID:      g.nextID,
-				Payload: payload,
-				Size:    reqBytes,
-				TxTime:  p.Now(),
-			}
-			if g.Classifier != nil {
-				pkt.Class = g.Classifier(payload)
-			}
-			g.Sent.Inc()
-			g.SendFn(pkt)
+	// The arrival loop never blocks mid-step — each activation draws the
+	// next inter-arrival gap and sends one request — so it runs as a
+	// tier-1 task: one wheel event per arrival, no goroutine. The firing
+	// sequence (start event, then one self-rescheduled event per arrival,
+	// each drawing Exp before the request's own RNG use) matches the
+	// retired proc loop push for push, keeping goldens byte-identical.
+	rng := env.Rand()
+	var t *sim.Task
+	primed := false
+	t = sim.NewTask(env, "loadgen", func() {
+		if !primed {
+			primed = true
+			t.FireAfter(rng.Exp(interval))
+			return
 		}
+		if env.Now() >= end {
+			return
+		}
+		payload, reqBytes := app.NextRequest(rng)
+		g.nextID++
+		pkt := &ethernet.Packet{
+			ID:      g.nextID,
+			Payload: payload,
+			Size:    reqBytes,
+			TxTime:  env.Now(),
+		}
+		if g.Classifier != nil {
+			pkt.Class = g.Classifier(payload)
+		}
+		g.Sent.Inc()
+		g.SendFn(pkt)
+		t.FireAfter(rng.Exp(interval))
 	})
+	t.FireAfter(0)
 	return g
 }
 

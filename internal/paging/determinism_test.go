@@ -1,0 +1,179 @@
+package paging
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"repro/internal/memnode"
+	"repro/internal/rdma"
+	"repro/internal/sim"
+)
+
+// startReclaimerProcRef is the retired goroutine-backed reclaimer, kept
+// verbatim as a reference implementation: the shipped task-tier state
+// machine must replicate it event for event.
+func startReclaimerProcRef(m *Manager, qps []*rdma.QP, cq *rdma.CQ) {
+	cqGate := sim.NewGate(m.env)
+	cq.Notify = cqGate.Wake
+	m.env.Go("reclaimer", func(p *sim.Proc) {
+		for {
+			m.reclaimGate.Wait(p)
+			for m.needReclaim() {
+				reclaimBatchRef(m, p, qps, cq, cqGate)
+			}
+		}
+	})
+}
+
+func reclaimBatchRef(m *Manager, p *sim.Proc, qps []*rdma.QP, cq *rdma.CQ, cqGate *sim.Gate) {
+	victims := m.selectVictims(m.cfg.ReclaimBatch)
+	if len(victims) == 0 {
+		p.Sleep(m.cfg.ReclaimPageCost)
+		return
+	}
+	inflight := 0
+	for _, fi := range victims {
+		p.Sleep(m.cfg.ReclaimPageCost)
+		f := &m.frames[fi]
+		s := m.spaces[f.space]
+		e := &s.ptes[f.vpn]
+		m.Evictions.Inc()
+		m.unmapped(fi)
+		if e.dirty {
+			node := s.region.NodeOf(f.vpn)
+			qp := qps[node]
+			rec := m.newFetch(s, f.vpn, fi, true, false)
+			rec.qp = qp
+			e.state = pageWriteback
+			e.fetch = rec
+			f.state = frameWriteback
+			m.DirtyWritebacks.Inc()
+			for {
+				if err := qp.PostWrite(s.region.SliceFor(f.vpn*PageSize, PageSize, node, qp.Name()), f.data, rec); err == nil {
+					break
+				}
+				qp.WaitSlot(p)
+			}
+			inflight++
+		} else {
+			e.state = pageAbsent
+			e.fetch = nil
+			m.freeFrame(fi)
+		}
+	}
+	for inflight > 0 {
+		cs := cq.Poll(64)
+		if len(cs) == 0 {
+			cqGate.Wait(p)
+			continue
+		}
+		for _, c := range cs {
+			if m.Complete(c.Cookie.(*Fetch), c.Err) {
+				inflight--
+			}
+		}
+	}
+}
+
+// TestReclaimerTaskMatchesProcReference runs a store-heavy churn
+// workload over a 10-frame pool — the write-back QP capped at depth 1 so
+// any eviction round with two dirty victims must block for a slot
+// mid-round — once with the shipped task-tier reclaimer and once with
+// the retired proc loop, and requires a bit-identical digest: every
+// write-back completion time, every loaded byte, final counters, and
+// final residency state.
+func TestReclaimerTaskMatchesProcReference(t *testing.T) {
+	const pages = 64
+	run := func(ref bool) (evictions, writebacks, faults int64, sum uint64) {
+		env := sim.NewEnv(1)
+		c := DefaultConfig(10 * PageSize)
+		c.Policy = LRU
+		c.ReclaimThreshold = 0.3
+		c.ReclaimBatch = 4
+		mgr := NewManager(env, c)
+		nic := rdma.NewNIC(env, rdma.DefaultConfig())
+		cq := rdma.NewCQ("fetch")
+		qp := nic.CreateQP("fetch", cq)
+		cq.Notify = func() {
+			for _, comp := range cq.Poll(64) {
+				mgr.Complete(comp.Cookie.(*Fetch), comp.Err)
+			}
+		}
+		node := memnode.New(1 << 30)
+		region := node.MustAlloc("data", pages*PageSize)
+		sp := mgr.NewSpace("data", region)
+
+		h := fnv.New64a()
+		mix := func(vals ...uint64) {
+			var buf [8]byte
+			for _, v := range vals {
+				for i := 0; i < 8; i++ {
+					buf[i] = byte(v >> (8 * i))
+				}
+				h.Write(buf[:])
+			}
+		}
+
+		// Dedicated write-back NIC with a depth-1 QP so a mostly-dirty
+		// batch of 4 must block for slots mid-round.
+		rcfg := rdma.DefaultConfig()
+		rcfg.QPDepth = 1
+		rnic := rdma.NewNIC(env, rcfg)
+		rcq := rdma.NewCQ("reclaim")
+		rqp := rnic.CreateQP("reclaim", rcq)
+		if ref {
+			startReclaimerProcRef(mgr, []*rdma.QP{rqp}, rcq)
+		} else {
+			mgr.StartReclaimerQPs([]*rdma.QP{rqp}, rcq)
+		}
+		prev := rcq.Notify // the reclaimer's CQ-gate wake
+		rcq.Notify = func() {
+			mix(uint64(env.Now()))
+			prev()
+		}
+
+		rng := sim.NewRNG(4)
+		env.Go("app", func(p *sim.Proc) {
+			th := &testThread{proc: p, qp: qp, mgr: mgr, gate: sim.NewGate(env)}
+			for op := 0; op < 1200; op++ {
+				off := rng.Int63n(pages*PageSize - 32)
+				n := 1 + rng.Intn(32)
+				if rng.Bool(0.7) { // store-heavy: most victims dirty
+					buf := make([]byte, n)
+					for i := range buf {
+						buf[i] = byte(rng.Intn(256))
+					}
+					sp.Store(th, off, buf)
+				} else {
+					got := make([]byte, n)
+					sp.Load(th, off, got)
+					h.Write(got)
+				}
+				p.Sleep(50)
+			}
+		})
+		env.Run(sim.Seconds(60))
+		if err := mgr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		for pg := int64(0); pg < pages; pg++ {
+			if sp.Resident(pg) {
+				mix(uint64(pg))
+			}
+		}
+		h.Write(region.Data)
+		mix(uint64(mgr.Evictions.Value()), uint64(mgr.DirtyWritebacks.Value()),
+			uint64(mgr.Faults.Value()), uint64(rnic.Writes.Value()), uint64(rnic.WriteBytes.Value()))
+		return mgr.Evictions.Value(), mgr.DirtyWritebacks.Value(), mgr.Faults.Value(), h.Sum64()
+	}
+
+	ev, wb, f, sum := run(false)
+	rEv, rWb, rF, rSum := run(true)
+	if ev == 0 || wb < 20 {
+		t.Fatalf("workload too tame (%d evictions, %d writebacks); slot-wait path not exercised", ev, wb)
+	}
+	if ev != rEv || wb != rWb || f != rF || sum != rSum {
+		t.Fatalf("task reclaimer diverged from proc reference: evictions %d/%d writebacks %d/%d faults %d/%d digest %x/%x",
+			ev, rEv, wb, rWb, f, rF, sum, rSum)
+	}
+}

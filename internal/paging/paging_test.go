@@ -20,8 +20,8 @@ type testThread struct {
 	gate *sim.Gate
 }
 
-func (t *testThread) Proc() *sim.Proc { return t.proc }
-func (t *testThread) QP(node int) *rdma.QP    { return t.qp }
+func (t *testThread) Proc() *sim.Proc      { return t.proc }
+func (t *testThread) QP(node int) *rdma.QP { return t.qp }
 
 func (t *testThread) WaitPage(s *Space, vpn int64) {
 	for !s.Resident(vpn) {

@@ -223,6 +223,59 @@ type NIC struct {
 	itc    Interceptor // nil unless a fault plan is installed
 	srv    *server     // non-nil when two-sided serving is enabled
 	nextQP int
+
+	freeOps *wrOp // recycled in-flight work-request records
+}
+
+// wrOp is one in-flight work request between post and completion
+// delivery. The records are pooled per NIC and carry a callback closure
+// built once at allocation, so the steady-state post paths — every page
+// fetch and write-back — schedule their completion event with zero
+// allocations, at the same time and with the same seq as the per-post
+// closures they replace.
+type wrOp struct {
+	nic      *NIC
+	qp       *QP
+	kind     OpKind
+	dst, src []byte
+	cookie   any
+	n        int
+	fail     bool
+	deliver  sim.Time
+	run      func()
+	next     *wrOp
+}
+
+func (n *NIC) getOp() *wrOp {
+	op := n.freeOps
+	if op == nil {
+		op = &wrOp{nic: n}
+		op.run = op.fire
+		return op
+	}
+	n.freeOps = op.next
+	op.next = nil
+	return op
+}
+
+// fire delivers the work request's completion. The record is released
+// before qp.complete runs — its wake-ups may lead back into a post that
+// reuses it.
+func (op *wrOp) fire() {
+	qp, kind, dst, src, cookie, n, fail, deliver := op.qp, op.kind, op.dst, op.src, op.cookie, op.n, op.fail, op.deliver
+	op.qp, op.dst, op.src, op.cookie = nil, nil, nil, nil
+	op.next = op.nic.freeOps
+	op.nic.freeOps = op
+	c := Completion{Kind: kind, Bytes: n, Cookie: cookie, QP: qp, At: deliver}
+	switch {
+	case fail:
+		c.Err = ErrWR
+	case qp.errored:
+		c.Err = ErrWRFlushed
+	default:
+		copy(dst, src)
+	}
+	qp.complete(c)
 }
 
 // NewNIC returns a NIC bound to env with the given cost model.
@@ -272,9 +325,10 @@ type QP struct {
 	errored      bool
 	resetPending bool
 
-	// fullWaiters are processes blocked in WaitSlot for a free WR slot
-	// (or for the error-state reset to finish).
-	fullWaiters []*sim.Proc
+	// fullWaiters are processes and tasks blocked (WaitSlot /
+	// AddSlotWaiter) for a free WR slot or for the error-state reset to
+	// finish.
+	fullWaiters []sim.Waiter
 	env         *sim.Env
 }
 
@@ -308,6 +362,14 @@ func (qp *QP) WaitSlot(p *sim.Proc) {
 		qp.fullWaiters = append(qp.fullWaiters, p)
 		p.Park()
 	}
+}
+
+// AddSlotWaiter is WaitSlot for the task tier: w is continued once a
+// slot may be free. Semantics are Mesa, exactly as WaitSlot's loop — the
+// task must recheck Full/Errored when it fires and re-register if the
+// slot was taken (or the QP re-errored) in the meantime.
+func (qp *QP) AddSlotWaiter(w sim.Waiter) {
+	qp.fullWaiters = append(qp.fullWaiters, w)
 }
 
 // PostRead posts a one-sided READ of len(dst) bytes from src (a view of
@@ -344,18 +406,10 @@ func (qp *QP) PostRead(dst, src []byte, cookie any) error {
 	qp.nic.ReadBytes.Add(int64(n))
 
 	deliver := done + scale(cfg.RespFlight, slow) + extra
-	env.At(deliver, func() {
-		c := Completion{Kind: OpRead, Bytes: n, Cookie: cookie, QP: qp, At: deliver}
-		switch {
-		case fail:
-			c.Err = ErrWR
-		case qp.errored:
-			c.Err = ErrWRFlushed
-		default:
-			copy(dst, src)
-		}
-		qp.complete(c)
-	})
+	op := qp.nic.getOp()
+	op.qp, op.kind, op.dst, op.src, op.cookie, op.n, op.fail, op.deliver =
+		qp, OpRead, dst, src, cookie, n, fail, deliver
+	env.At(deliver, op.run)
 	return nil
 }
 
@@ -397,18 +451,10 @@ func (qp *QP) PostWrite(dst, src []byte, cookie any) error {
 	}
 	served := qp.nic.serve(arrive, n)
 	deliver := served + scale(cfg.RespFlight, slow) + extra
-	env.At(deliver, func() {
-		c := Completion{Kind: OpWrite, Bytes: n, Cookie: cookie, QP: qp, At: deliver}
-		switch {
-		case fail:
-			c.Err = ErrWR
-		case qp.errored:
-			c.Err = ErrWRFlushed
-		default:
-			copy(dst, src)
-		}
-		qp.complete(c)
-	})
+	op := qp.nic.getOp()
+	op.qp, op.kind, op.dst, op.src, op.cookie, op.n, op.fail, op.deliver =
+		qp, OpWrite, dst, src, cookie, n, fail, deliver
+	env.At(deliver, op.run)
 	return nil
 }
 
@@ -444,7 +490,7 @@ func (qp *QP) complete(c Completion) {
 	if len(qp.fullWaiters) > 0 {
 		w := qp.fullWaiters[0]
 		qp.fullWaiters = qp.fullWaiters[1:]
-		qp.env.ScheduleResume(w, qp.env.Now())
+		qp.env.Wake(w, qp.env.Now())
 	}
 	qp.cq.push(c)
 }
@@ -462,7 +508,7 @@ func (qp *QP) maybeReset() {
 		qp.errored = false
 		qp.nic.QPResets.Inc()
 		for _, w := range qp.fullWaiters {
-			qp.env.ScheduleResume(w, qp.env.Now())
+			qp.env.Wake(w, qp.env.Now())
 		}
 		qp.fullWaiters = qp.fullWaiters[:0]
 	})

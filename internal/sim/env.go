@@ -34,6 +34,22 @@ type Env struct {
 	nProcs      int     // live (not yet terminated) processes, for leak detection
 	parkedHead  *Proc   // intrusive list of parked processes, for teardown
 	freeRunners *runner // recycled process goroutines + rendezvous channels
+	freeProcs   *Proc   // recycled process objects, linked through parkNext
+
+	// until is the bound of the run in progress; the direct-handoff fast
+	// path (proc.go) must not dispatch past it on the loop's behalf.
+	until Time
+
+	// inlinePanic carries a panic raised while a parking process was
+	// dispatching events inline; the loop goroutine rethrows it so Run's
+	// caller sees panics identically however the event was dispatched.
+	inlinePanic *forwardedPanic
+}
+
+// forwardedPanic wraps a recovered panic value in transit between the
+// goroutine that caught it and the loop goroutine that rethrows it.
+type forwardedPanic struct {
+	val any
 }
 
 // NewEnv returns an environment with its clock at zero, seeded with seed.
@@ -71,18 +87,7 @@ func (e *Env) Stop() { e.stopped = true }
 // Run executes events until the clock would pass until, the queue drains,
 // or Stop is called. It returns the final simulated time.
 func (e *Env) Run(until Time) Time {
-	for !e.stopped {
-		ev, ok := e.q.popUntil(until)
-		if !ok {
-			break
-		}
-		e.now = ev.at
-		if ev.proc != nil {
-			e.runProcEvent(ev.proc)
-		} else {
-			ev.fn()
-		}
-	}
+	e.loop(until)
 	if e.now < until && !e.stopped {
 		e.now = until
 	}
@@ -92,20 +97,45 @@ func (e *Env) Run(until Time) Time {
 
 // RunAll executes events until the queue drains or Stop is called.
 func (e *Env) RunAll() Time {
+	e.loop(maxTime)
+	e.releaseParked()
+	return e.now
+}
+
+func (e *Env) loop(until Time) {
+	e.until = until
+	// ev is hoisted out of the loop so the manual popUntil inline below
+	// costs no per-iteration zeroing on the levelled (cache-miss) path.
+	var ev event
 	for !e.stopped {
-		ev, ok := e.q.popUntil(maxTime)
-		if !ok {
-			break
+		// wheel.popUntil, manually inlined (it sits just past the
+		// inliner's budget, and this loop runs once per event): a cache
+		// hit is a branch and a copy; every other case — empty cache,
+		// cached event past until, levelled events — is popSlow's.
+		if e.q.hasNext && e.q.next.at <= until {
+			ev = e.q.next
+			e.q.hasNext = false
+			e.q.count--
+		} else {
+			var ok bool
+			if ev, ok = e.q.popSlow(until); !ok {
+				break
+			}
 		}
 		e.now = ev.at
 		if ev.proc != nil {
 			e.runProcEvent(ev.proc)
+			// A panic raised while the proc's goroutine was dispatching
+			// events inline (direct handoff) surfaces here; plain callbacks
+			// run on this goroutine and panic through loop directly.
+			if fp := e.inlinePanic; fp != nil {
+				e.inlinePanic = nil
+				panic(fp.val)
+			}
 		} else {
 			ev.fn()
 		}
 	}
-	e.releaseParked()
-	return e.now
 }
 
 // Pending reports the number of scheduled events, for tests.
@@ -113,8 +143,17 @@ func (e *Env) Pending() int { return e.q.count }
 
 // MaxPending reports the high-water mark of the pending-event count over
 // the environment's lifetime: the queue depth the scheduler actually had
-// to absorb, surfaced by the -qdepth flag of the shipped binaries.
-func (e *Env) MaxPending() int { return e.q.maxCount }
+// to absorb, surfaced by the -qdepth flag of the shipped binaries. The
+// wheel tracks the mark on its slow push path only (keeping the hot path
+// inlinable), so a queue that never held two events at once is
+// reconstructed here: seq counts every push, so seq > 0 with a zero mark
+// means the depth peaked at exactly 1.
+func (e *Env) MaxPending() int {
+	if e.q.maxCount == 0 && e.seq > 0 {
+		return 1
+	}
+	return e.q.maxCount
+}
 
 // LiveProcs reports the number of processes that have started but not yet
 // terminated (parked or running), for leak detection in tests.

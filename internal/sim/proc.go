@@ -4,8 +4,10 @@ package sim
 // time under the event loop's control. A Proc may block on simulated time
 // (Sleep) or on synchronization primitives (Gate, Queue); while it is
 // blocked, other events and processes run. This is how unithreads,
-// workers, the dispatcher, the reclaimer, and load-generator flows are
-// expressed.
+// workers, the dispatcher, and other flows that genuinely block
+// mid-traversal are expressed; purely timer/event-driven loops should use
+// the cheaper tier-1 Task (task.go) instead, which never leaves the
+// event loop's goroutine.
 //
 // The implementation uses a two-channel handshake: when the event loop
 // transfers control to a process it blocks on env.parked until the
@@ -16,7 +18,22 @@ package sim
 // returns to the environment's free list and the next Go reuses it, so
 // per-request process churn (one unithread per request in the scheduler)
 // costs neither a goroutine spawn nor a channel allocation in steady
-// state.
+// state. Terminated Proc objects are recycled the same way (freeProcs),
+// so steady-state Go is allocation-free too.
+//
+// Direct handoff (the tier-2 fast path): a real park/resume round trip
+// through the loop goroutine costs four channel operations — park send,
+// loop wake, resume send, process wake — i.e. two OS-level context
+// switches per simulated one. park avoids the trip entirely: before
+// yielding, the parking process pops the queue and dispatches upcoming
+// events itself. A resume of the parking process returns from park with
+// zero channel operations (the Sleep and Gate.Wake→Wait shapes); a
+// resume or start of another process transfers control goroutine-to-
+// goroutine with one send; a plain callback runs inline. Only when the
+// next event is past the run bound (or the queue drains) does control
+// revert to the loop goroutine. Dispatch order is bit-identical: the
+// handoff consumes exactly the event the loop would have popped next,
+// only on a different goroutine.
 type Proc struct {
 	env  *Env
 	name string
@@ -26,7 +43,7 @@ type Proc struct {
 
 	// Intrusive doubly-linked list of currently-parked processes, for
 	// teardown. Replaces a map so the hot park/resume path stays free of
-	// hashing.
+	// hashing. parkNext doubles as the freeProcs link once terminated.
 	parkPrev, parkNext *Proc
 	parked             bool
 }
@@ -57,9 +74,18 @@ type runnerWork struct {
 }
 
 // Go creates a process that will begin executing fn at the current
-// simulated time (after already-scheduled events at this time).
+// simulated time (after already-scheduled events at this time). The
+// Proc object comes from the environment's free list when one is
+// available; holding a *Proc past its termination is therefore only
+// valid for identity-free uses.
 func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{env: e, name: name, body: fn}
+	p := e.freeProcs
+	if p != nil {
+		e.freeProcs = p.parkNext
+		*p = Proc{env: e, name: name, body: fn}
+	} else {
+		p = &Proc{env: e, name: name, body: fn}
+	}
 	e.nProcs++
 	e.seq++
 	e.q.push(event{at: e.now, seq: e.seq, proc: p})
@@ -71,16 +97,18 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 func (e *Env) runProcEvent(p *Proc) {
 	if fn := p.body; fn != nil {
 		p.body = nil
-		e.startProc(p, fn)
-		return
+		e.beginProc(p, fn)
+	} else {
+		e.resumeProc(p)
 	}
-	e.resumeProc(p)
+	<-e.parked
 }
 
-// startProc transfers control to a (new or recycled) runner executing
-// p's body and waits until the process parks or terminates. Must only be
-// called from event-loop context.
-func (e *Env) startProc(p *Proc, fn func(*Proc)) {
+// beginProc hands a (new or recycled) runner the process body. Control
+// transfers to the runner goroutine; the caller must then block on its
+// own rendezvous — the loop on e.parked, a parking process on its
+// resume channel.
+func (e *Env) beginProc(p *Proc, fn func(*Proc)) {
 	if r := e.freeRunners; r != nil {
 		e.freeRunners = r.next
 		r.next = nil
@@ -91,26 +119,32 @@ func (e *Env) startProc(p *Proc, fn func(*Proc)) {
 		p.r = r
 		go r.loop(e, runnerWork{p: p, fn: fn})
 	}
-	<-e.parked
 }
 
 // loop runs process bodies until the environment closes the runner's
 // work channel. Between bodies the runner parks itself on the free list;
-// the push happens while the loop goroutine is still blocked on
-// e.parked, so the list needs no locking.
+// the push happens while every other simulator goroutine is blocked, so
+// the list needs no locking.
 func (r *runner) loop(e *Env, w runnerWork) {
 	for {
 		r.runBody(w)
-		w.p.done = true
 		e.nProcs--
 		r.next = e.freeRunners
 		e.freeRunners = r
+		e.releaseProc(w.p)
 		e.parked <- struct{}{}
 		var ok bool
 		if w, ok = <-r.work; !ok {
 			return
 		}
 	}
+}
+
+// releaseProc recycles a terminated process object onto the free list.
+// done stays set so a stale resume still trips the sanity check.
+func (e *Env) releaseProc(p *Proc) {
+	*p = Proc{env: e, done: true, parkNext: e.freeProcs}
+	e.freeProcs = p
 }
 
 // runBody executes one process body, converting the teardown abort into
@@ -136,7 +170,9 @@ func (p *Proc) Env() *Env { return p.env }
 func (p *Proc) Now() Time { return p.env.now }
 
 // park hands control back to the event loop until some event resumes this
-// process. The caller must have arranged for a wake-up first.
+// process. The caller must have arranged for a wake-up first. See the
+// type comment for the direct-handoff fast path taken before the
+// goroutine actually blocks.
 func (p *Proc) park() {
 	e := p.env
 	p.parked = true
@@ -144,26 +180,93 @@ func (p *Proc) park() {
 	if e.parkedHead != nil {
 		e.parkedHead.parkPrev = p
 	}
-	p.parkPrev = nil
+	// p.parkPrev is already nil: unlinkParked zeroed it on the last
+	// resume, and Go/releaseProc reset fresh and recycled procs.
 	e.parkedHead = p
 
-	e.parked <- struct{}{}
+	if e.dispatchFrom(p) {
+		return // resumed inline: no channel operations at all
+	}
 	sig := <-p.r.resume
 	if sig.abort {
 		panic(abortSignal{})
 	}
 }
 
-// resumeProc transfers control from the event loop to a parked process
-// and waits until it parks again or terminates. Must only be called from
-// event-loop context (an event callback).
+// dispatchFrom dispatches pending events from the goroutine of the
+// process that is parking, in exactly the order the event loop would
+// have. It returns true when the dispatched event resumes p itself;
+// otherwise it has transferred control (to another process's goroutine,
+// or — by sending on e.parked — back to the loop) and the caller must
+// block on its resume channel.
+func (e *Env) dispatchFrom(p *Proc) bool {
+	var ev event
+	for !e.stopped {
+		// wheel.popUntil, manually inlined as in Env.loop.
+		if e.q.hasNext && e.q.next.at <= e.until {
+			ev = e.q.next
+			e.q.hasNext = false
+			e.q.count--
+		} else {
+			var ok bool
+			if ev, ok = e.q.popSlow(e.until); !ok {
+				break
+			}
+		}
+		q, fn := ev.proc, ev.fn
+		e.now = ev.at
+		if q == nil {
+			// Plain callback. Exactly one goroutine ever executes
+			// simulator code, so "event-loop context" holds here too; a
+			// panic is forwarded so Run's caller still observes it.
+			if !e.runInline(fn) {
+				break
+			}
+			continue
+		}
+		if bodyFn := q.body; bodyFn != nil {
+			q.body = nil
+			e.beginProc(q, bodyFn)
+			return false
+		}
+		if q == p {
+			e.unlinkParked(p)
+			return true
+		}
+		if q.done {
+			e.inlinePanic = &forwardedPanic{val: "sim: resuming terminated proc " + q.name}
+			break
+		}
+		e.unlinkParked(q)
+		q.r.resume <- procSignal{}
+		return false
+	}
+	e.parked <- struct{}{}
+	return false
+}
+
+// runInline executes one plain callback on a parking process's
+// goroutine, capturing a panic for the loop goroutine to rethrow so
+// Run's caller observes it exactly as if the loop had run the callback.
+func (e *Env) runInline(fn func()) (ok bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			e.inlinePanic = &forwardedPanic{val: rec}
+		}
+	}()
+	fn()
+	return true
+}
+
+// resumeProc transfers control from the event loop to a parked process.
+// Must only be called from event-loop context; the caller blocks on
+// e.parked afterwards (runProcEvent).
 func (e *Env) resumeProc(p *Proc) {
 	if p.done {
 		panic("sim: resuming terminated proc " + p.name)
 	}
 	e.unlinkParked(p)
 	p.r.resume <- procSignal{}
-	<-e.parked
 }
 
 // unlinkParked removes p from the parked list.
@@ -219,9 +322,17 @@ func (p *Proc) Sleep(d Time) {
 
 // releaseParked unwinds any still-parked process goroutines and drains
 // the runner pool. Called when a run finishes so that repeated
-// simulations (benchmark sweeps) do not leak goroutines.
+// simulations (benchmark sweeps) do not leak goroutines. The common
+// nothing-to-release case — no process ever parked, no runner pooled —
+// inlines into Run/RunAll; the unwind loops live in the slow half.
 func (e *Env) releaseParked() {
 	e.foldMaxPending()
+	if e.parkedHead != nil || e.freeRunners != nil {
+		e.releaseParkedSlow()
+	}
+}
+
+func (e *Env) releaseParkedSlow() {
 	for e.parkedHead != nil {
 		p := e.parkedHead
 		e.unlinkParked(p)

@@ -7,7 +7,7 @@ import "sync/atomic"
 // runner), so the per-Env high-water marks are folded into one global
 // maximum with a CAS loop when each run finishes. Tracking is off by
 // default; folding costs nothing on the simulation hot path either way
-// because the per-Env mark is a plain compare in wheel.push.
+// because the per-Env mark is maintained on the wheel's slow push path.
 
 var (
 	trackPending     atomic.Bool
@@ -28,12 +28,17 @@ func TrackMaxPending(on bool) {
 func GlobalMaxPending() int64 { return globalMaxPending.Load() }
 
 // foldMaxPending publishes e's high-water mark into the global maximum.
-// Called whenever a run finishes; safe from concurrent environments.
+// Called whenever a run finishes; safe from concurrent environments. The
+// body is split so the tracking-disabled case — every run outside a
+// -qdepth sweep — inlines into releaseParked as a single atomic load.
 func (e *Env) foldMaxPending() {
-	if !trackPending.Load() {
-		return
+	if trackPending.Load() {
+		e.foldMaxPendingSlow()
 	}
-	mark := int64(e.q.maxCount)
+}
+
+func (e *Env) foldMaxPendingSlow() {
+	mark := int64(e.MaxPending())
 	for {
 		cur := globalMaxPending.Load()
 		if mark <= cur || globalMaxPending.CompareAndSwap(cur, mark) {

@@ -4,9 +4,11 @@ package sim
 // a Wake that arrives while nobody waits is remembered (once) and
 // consumed by the next Wait. Workers wait on their gate for new requests
 // or fetch completions; the dispatcher waits on its gate for arrivals.
+// Both execution tiers can block on a gate: a Proc via Wait, a Task via
+// Arm.
 type Gate struct {
 	env     *Env
-	waiter  *Proc
+	waiter  Waiter
 	pending bool
 }
 
@@ -21,15 +23,33 @@ func (g *Gate) Wait(p *Proc) {
 		return
 	}
 	if g.waiter != nil {
-		panic("sim: gate already has a waiter (" + g.waiter.name + ")")
+		panic("sim: gate already has a waiter (" + g.waiter.waiterName() + ")")
 	}
 	g.waiter = p
 	p.park()
 }
 
-// Wake releases the waiting process (resumed at the current time, after
+// Arm is Wait for the task tier. If a wake is pending it is consumed and
+// Arm reports true: the task proceeds inline, in zero simulated time,
+// exactly as Wait would have returned immediately. Otherwise the task is
+// registered as the gate's waiter — a later Wake arms it — and Arm
+// reports false: the task's callback must return and resume from its
+// next state when it fires.
+func (g *Gate) Arm(t *Task) bool {
+	if g.pending {
+		g.pending = false
+		return true
+	}
+	if g.waiter != nil {
+		panic("sim: gate already has a waiter (" + g.waiter.waiterName() + ")")
+	}
+	g.waiter = t
+	return false
+}
+
+// Wake releases the waiter (continued at the current time, after
 // already-scheduled events) or, if none waits, leaves a pending wake.
-// Safe to call from both event and process context.
+// Safe to call from event, process, and task context alike.
 func (g *Gate) Wake() {
 	if g.waiter == nil {
 		g.pending = true
@@ -37,10 +57,11 @@ func (g *Gate) Wake() {
 	}
 	w := g.waiter
 	g.waiter = nil
-	g.env.scheduleResume(w, g.env.now)
+	w.wakeAt(g.env, g.env.now)
 }
 
-// Waiting reports whether a process is currently blocked on the gate.
+// Waiting reports whether a process or task is currently blocked on the
+// gate.
 func (g *Gate) Waiting() bool { return g.waiter != nil }
 
 // Reset clears any waiter and pending wake, returning the gate to its
@@ -70,9 +91,14 @@ func (q *Queue[T]) Len() int { return len(q.items) - q.head }
 // Push appends v and wakes one waiting popper, if any.
 func (q *Queue[T]) Push(v T) {
 	q.items = append(q.items, v)
-	if len(q.waiters) > 0 {
+	if n := len(q.waiters); n > 0 {
 		w := q.waiters[0]
-		q.waiters = q.waiters[1:]
+		// Shift down rather than reslice: q.waiters[1:] would strand the
+		// slice's capacity and force an allocation on the next Pop. The
+		// copy is one or two pointers in practice.
+		copy(q.waiters, q.waiters[1:])
+		q.waiters[n-1] = nil
+		q.waiters = q.waiters[:n-1]
 		q.env.scheduleResume(w, q.env.now)
 	}
 }

@@ -44,15 +44,34 @@ import "math/bits"
 //     so an event pushed later (higher seq) can never end up ahead of an
 //     earlier one in any bucket it shares.
 //
+// Single-next-event cache: self-rescheduling timers (a lone retransmit
+// timer, the near-empty queue between bursts) push one event into an
+// otherwise empty queue and immediately pop it. The heap's best case —
+// one root swap — was faster than walking even one wheel bucket, so a
+// queue holding exactly one event keeps it in a register-like `next`
+// slot in front of the levels: filled on push into an empty queue,
+// flushed into the levels (in push order, preserving per-bucket seq
+// order) the moment a second event arrives, drained by pops before any
+// bucket is touched. Consuming it leaves the cursor untouched — the
+// cached event never visited the levels, so bucket placement stays
+// consistent relative to the cursor the remaining events were filed
+// under.
+//
 // The zero value is an empty queue with the cursor at time 0. Level
 // bucket arrays are allocated lazily on first use, so short simulations
 // that never schedule past a few milliseconds pay for two levels only.
 type wheel struct {
-	low      Time // dispatch cursor: no pending event is earlier
-	count    int  // pending events
-	maxCount int  // high-water mark of count, for -qdepth reporting
-	headIdx  int  // level-0 bucket being drained (guards head)
-	head     int  // next undispatched element of that bucket
+	low   Time // dispatch cursor: no levelled pending event is earlier
+	count int  // pending events (including the cached next)
+	// maxCount is the high-water mark of count, for -qdepth reporting.
+	// Maintained on the slow push path only, so a queue that never held
+	// two events at once leaves it 0; Env.MaxPending reconstructs that
+	// case (high water exactly 1) from seq > 0.
+	maxCount int
+	headIdx  int // level-0 bucket being drained (guards head)
+	head     int // next undispatched element of that bucket
+	next     event
+	hasNext  bool // next holds the queue's only pending event
 	levels   [wheelLevels]wheelLevel
 }
 
@@ -72,31 +91,70 @@ type wheelLevel struct {
 }
 
 // push enqueues e. e.at must be ≥ the dispatch cursor, which Env
-// guarantees by rejecting scheduling in the past.
+// guarantees by rejecting scheduling in the past. The body is kept
+// small enough to inline into Env.At/scheduleResume; a push into an
+// empty queue — the self-rescheduling-timer shape — is a branch and a
+// copy, no bucket or bitmap work at all. A consumed or flushed cache
+// slot is not zeroed (the next fill overwrites it wholesale), so at
+// most one stale event's fn/proc outlive their dispatch.
 func (w *wheel) push(e event) {
 	w.count++
+	if w.count == 1 {
+		w.next, w.hasNext = e, true
+		return
+	}
+	w.pushSlow(e)
+}
+
+func (w *wheel) pushSlow(e event) {
 	if w.count > w.maxCount {
 		w.maxCount = w.count
 	}
-	w.place(e)
+	if w.hasNext {
+		// A second event arrived: flush the cached one into the levels
+		// ahead of the newcomer. The cache must not stay occupied while
+		// the levels fill — a later displacement would append the
+		// incumbent behind same-time events already in its bucket,
+		// breaking seq order — so it serves exactly the one-pending-event
+		// case. Flushing in push order keeps every bucket seq-sorted.
+		w.hasNext = false
+		w.place(w.next)
+	}
+	// place's level-0 fast path, manually inlined (the append pushes
+	// place past the inlining budget): with push inlined into At, a
+	// steady-state deep push is exactly one call deep, as the pre-cache
+	// wheel's was.
+	if diff := uint64(e.at ^ w.low); diff < wheelSize {
+		lv := &w.levels[0]
+		if lv.buckets != nil {
+			idx := int(e.at) & wheelMask
+			lv.buckets[idx] = append(lv.buckets[idx], e)
+			lv.occ[idx>>6] |= 1 << (idx & 63)
+			lv.sum |= 1 << (idx >> 6)
+			return
+		}
+	}
+	w.placeSlow(e)
 }
 
 // place files e into the lowest level whose current window contains
-// e.at. Shared by push and cascade (which must not re-count). The
+// e.at. Shared by pushSlow and cascade (which must not re-count). The
 // level-0 case — both direct near-future pushes and every cascaded
 // event's final hop — is specialized to skip the level computation and
-// variable shift.
+// variable shift, and is kept within the inlining budget so a deep push
+// is exactly one call (pushSlow) from At: level 0's lazy bucket
+// allocation falls through to placeSlow, which handles any level
+// including 0 (for e.at == low, Len64(0)-1 = -1 truncates to level 0).
 func (w *wheel) place(e event) {
 	if diff := uint64(e.at ^ w.low); diff < wheelSize {
 		lv := &w.levels[0]
-		if lv.buckets == nil {
-			lv.buckets = make([][]event, wheelSize)
+		if lv.buckets != nil {
+			idx := int(e.at) & wheelMask
+			lv.buckets[idx] = append(lv.buckets[idx], e)
+			lv.occ[idx>>6] |= 1 << (idx & 63)
+			lv.sum |= 1 << (idx >> 6)
+			return
 		}
-		idx := int(e.at) & wheelMask
-		lv.buckets[idx] = append(lv.buckets[idx], e)
-		lv.occ[idx>>6] |= 1 << (idx & 63)
-		lv.sum |= 1 << (idx >> 6)
-		return
 	}
 	w.placeSlow(e)
 }
@@ -116,41 +174,79 @@ func (w *wheel) placeSlow(e event) {
 // popUntil removes and returns the earliest pending event if its time is
 // ≤ until; otherwise it returns false and leaves the event queued. The
 // cursor never advances past until, so events may still be scheduled
-// anywhere ≥ until afterwards.
+// anywhere ≥ until afterwards. Consuming the cached event leaves the
+// cursor untouched too: that event never visited the levels, so bucket
+// placement stays consistent relative to the cursor the remaining
+// events were filed under.
 func (w *wheel) popUntil(until Time) (event, bool) {
-	for w.count > 0 {
-		lv := &w.levels[0]
-		if lv.buckets != nil {
-			if i, ok := lv.scan(int(w.low) & wheelMask); ok {
-				at := (w.low &^ Time(wheelMask)) | Time(i)
-				if at > until {
-					return event{}, false
-				}
-				w.low = at
-				if w.headIdx != i {
-					w.headIdx, w.head = i, 0
-				}
-				bkt := lv.buckets[i]
-				ev := bkt[w.head]
-				bkt[w.head] = event{} // release fn for GC
-				w.head++
-				if w.head == len(bkt) {
-					lv.buckets[i] = bkt[:0]
-					lv.occ[i>>6] &^= 1 << (i & 63)
-					if lv.occ[i>>6] == 0 {
-						lv.sum &^= 1 << (i >> 6)
+	if w.hasNext && w.next.at <= until {
+		w.hasNext = false
+		w.count--
+		return w.next, true
+	}
+	return w.popSlow(until)
+}
+
+// popSlow handles the empty-cache case — and, because a cached event only
+// reaches it when its time is past until, the cached-but-not-due case,
+// which must return before the level scan (the cached event is not in any
+// bucket, so the scan loop would find count > 0 with no levelled events
+// and panic in advance).
+func (w *wheel) popSlow(until Time) (event, bool) {
+	if w.hasNext {
+		return event{}, false
+	}
+	// Mid-drain fast path: head > 0 means bucket headIdx of level 0 is
+	// partially drained (the cursor already sits on its time), so the
+	// next event is bkt[head] — no bitmap scan, no cursor math. head is
+	// the discriminator rather than headIdx so the zero-value wheel
+	// (headIdx 0, never drained) takes the scan path below; every drain
+	// completion and cascade resets head to 0 along with headIdx.
+	// Same-time events pushed while draining append to the same bucket
+	// and are picked up because len(bkt) is re-read each pop.
+	lv := &w.levels[0]
+	if w.head == 0 {
+		// Settle the cursor on the next occupied bucket.
+		for {
+			if w.count == 0 {
+				return event{}, false
+			}
+			if lv.buckets != nil {
+				if i, ok := lv.scan(int(w.low) & wheelMask); ok {
+					at := (w.low &^ Time(wheelMask)) | Time(i)
+					if at > until {
+						return event{}, false
 					}
-					w.headIdx = -1
+					w.low = at
+					w.headIdx = i
+					break
 				}
-				w.count--
-				return ev, true
+			}
+			if !w.advance(until) {
+				return event{}, false
 			}
 		}
-		if !w.advance(until) {
-			return event{}, false
-		}
+	} else if w.low > until {
+		return event{}, false
 	}
-	return event{}, false
+	// Drain one event from bucket headIdx. Only fn and proc are cleared
+	// from the drained slot — they are what pin memory; at and seq are
+	// inert.
+	i := w.headIdx
+	bkt := lv.buckets[i]
+	ev := bkt[w.head]
+	bkt[w.head].fn, bkt[w.head].proc = nil, nil
+	w.head++
+	if w.head == len(bkt) {
+		lv.buckets[i] = bkt[:0]
+		lv.occ[i>>6] &^= 1 << (i & 63)
+		if lv.occ[i>>6] == 0 {
+			lv.sum &^= 1 << (i >> 6)
+		}
+		w.headIdx, w.head = -1, 0
+	}
+	w.count--
+	return ev, true
 }
 
 // advance pulls the next occupied bucket from the lowest level that has
@@ -194,7 +290,7 @@ func (w *wheel) advance(until Time) bool {
 // with it seq order among same-time events — is preserved.
 func (w *wheel) cascade(lv *wheelLevel, j int, start Time) {
 	w.low = start
-	w.headIdx = -1
+	w.headIdx, w.head = -1, 0
 	lv.occ[j>>6] &^= 1 << (j & 63)
 	if lv.occ[j>>6] == 0 {
 		lv.sum &^= 1 << (j >> 6)

@@ -20,13 +20,13 @@ type ctxThread struct {
 	gate *sim.Gate
 }
 
-func (t *ctxThread) Proc() *sim.Proc    { return t.proc }
-func (t *ctxThread) QP(node int) *rdma.QP       { return t.qp }
-func (t *ctxThread) Rand() *sim.RNG     { return t.env.Rand() }
-func (t *ctxThread) Compute(d sim.Time) { t.proc.Sleep(d) }
-func (t *ctxThread) Probe()             {}
-func (t *ctxThread) CriticalEnter()     {}
-func (t *ctxThread) CriticalExit()      {}
+func (t *ctxThread) Proc() *sim.Proc      { return t.proc }
+func (t *ctxThread) QP(node int) *rdma.QP { return t.qp }
+func (t *ctxThread) Rand() *sim.RNG       { return t.env.Rand() }
+func (t *ctxThread) Compute(d sim.Time)   { t.proc.Sleep(d) }
+func (t *ctxThread) Probe()               {}
+func (t *ctxThread) CriticalEnter()       {}
+func (t *ctxThread) CriticalExit()        {}
 func (t *ctxThread) Block(enqueue func(wake func())) {
 	done := false
 	enqueue(func() {

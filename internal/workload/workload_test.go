@@ -63,13 +63,13 @@ type arrayThread struct {
 	gate *sim.Gate
 }
 
-func (t *arrayThread) Proc() *sim.Proc    { return t.proc }
-func (t *arrayThread) QP(node int) *rdma.QP       { return t.qp }
-func (t *arrayThread) Rand() *sim.RNG     { return t.env.Rand() }
-func (t *arrayThread) Compute(d sim.Time) { t.proc.Sleep(d) }
-func (t *arrayThread) Probe()             {}
-func (t *arrayThread) CriticalEnter()     {}
-func (t *arrayThread) CriticalExit()      {}
+func (t *arrayThread) Proc() *sim.Proc      { return t.proc }
+func (t *arrayThread) QP(node int) *rdma.QP { return t.qp }
+func (t *arrayThread) Rand() *sim.RNG       { return t.env.Rand() }
+func (t *arrayThread) Compute(d sim.Time)   { t.proc.Sleep(d) }
+func (t *arrayThread) Probe()               {}
+func (t *arrayThread) CriticalEnter()       {}
+func (t *arrayThread) CriticalExit()        {}
 func (t *arrayThread) Block(enqueue func(wake func())) {
 	done := false
 	enqueue(func() { done = true; t.gate.Wake() })

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# benchdiff.sh — A/B the simulator kernel benchmarks between a baseline
+# git ref and the working tree.
+#
+# Usage: scripts/benchdiff.sh [-n pairs] [-b benchregex] [baseline-ref]
+#
+# Runs `go test ./internal/sim -bench` in interleaved A/B pairs (baseline
+# first, working tree second) so slow drift of the machine's background
+# load hits both sides equally, then reports with benchstat when it is
+# on PATH. Without benchstat the raw outputs are left in
+# benchdiff-{old,new}.txt for manual comparison.
+#
+# The baseline is materialized with `git worktree` — no network, no
+# stashing; uncommitted changes in the working tree are measured as-is.
+set -euo pipefail
+
+pairs=5
+bench='.'
+pkg=./internal/sim
+while getopts "n:b:" opt; do
+  case $opt in
+  n) pairs=$OPTARG ;;
+  b) bench=$OPTARG ;;
+  *) exit 2 ;;
+  esac
+done
+shift $((OPTIND - 1))
+ref=${1:-HEAD}
+
+root=$(git rev-parse --show-toplevel)
+tmp=$(mktemp -d)
+cleanup() {
+  git -C "$root" worktree remove --force "$tmp/base" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+git -C "$root" worktree add --detach "$tmp/base" "$ref" >/dev/null 2>&1
+
+old="$tmp/old.txt"
+new="$tmp/new.txt"
+for i in $(seq "$pairs"); do
+  echo "pair $i/$pairs (A=$ref, B=worktree)" >&2
+  (cd "$tmp/base" && go test "$pkg" -run '^$' -bench "$bench" -benchmem -count=1) >>"$old"
+  (cd "$root" && go test "$pkg" -run '^$' -bench "$bench" -benchmem -count=1) >>"$new"
+done
+
+if command -v benchstat >/dev/null 2>&1; then
+  benchstat "$old" "$new"
+else
+  cp "$old" "$root/benchdiff-old.txt"
+  cp "$new" "$root/benchdiff-new.txt"
+  echo "benchstat not on PATH; raw outputs in benchdiff-old.txt / benchdiff-new.txt" >&2
+fi
