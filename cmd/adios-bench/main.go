@@ -22,6 +22,12 @@
 // additionally sweeps node count itself). The default of 1 reproduces
 // the paper's single-memory-node topology byte-for-byte.
 //
+// With -replicas R, every page lives on R distinct memory nodes and
+// survives node crashes injected with the crash= fault clause (the
+// failover experiment sweeps R itself). The default of 1 keeps the
+// unreplicated store and is byte-identical to builds without
+// replication support.
+//
 // With -parallel N (default GOMAXPROCS), up to N simulations run
 // concurrently: the operating points inside each sweep fan out across
 // goroutines, and under -exp all whole experiments do too. Each point
@@ -66,6 +72,7 @@ func main() {
 	faultSpec := flag.String("faults", "", "fault plan, e.g. 'wr=0.01,rnr=0.001:5us,link=20ms:200us:4,mem=25ms:100us'")
 	faultSeed := flag.Int64("fault-seed", 0, "salt for the fault schedule (replays the workload under different faults)")
 	memnodes := flag.Int("memnodes", 1, "memory nodes every built system stripes its backing store across (1 = the paper's topology)")
+	replicasN := flag.Int("replicas", 1, "copies of every page, on distinct memory nodes (1 = unreplicated)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	qdepth := flag.Bool("qdepth", false, "report the pending-event high-water mark across all simulations")
@@ -94,6 +101,7 @@ func main() {
 		bench.SetFaults(plan)
 	}
 	bench.SetMemNodes(*memnodes)
+	bench.SetReplicas(*replicasN)
 	startProfiles(*cpuProfile, *memProfile)
 	if *qdepth {
 		sim.TrackMaxPending(true)

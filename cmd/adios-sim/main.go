@@ -44,6 +44,7 @@ func main() {
 	ms := flag.Float64("ms", 0, "measurement window in simulated ms (0 = auto)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	memnodes := flag.Int("memnodes", 1, "memory nodes the backing store is striped across")
+	replicasN := flag.Int("replicas", 1, "copies of every page, on distinct memory nodes (1 = unreplicated)")
 	faultSpec := flag.String("faults", "", "fault plan (see EXPERIMENTS.md), e.g. 'node=0,mem=2ms:400us'")
 	cdf := flag.Bool("cdf", false, "print the e2e latency CDF")
 	traceOut := flag.String("trace", "", "write a chrome://tracing / Perfetto trace of the run to this file")
@@ -96,6 +97,7 @@ func main() {
 	cfg := core.Preset(mode, int64(*local*float64(size)))
 	cfg.Seed = *seed
 	cfg.MemNodes = *memnodes
+	cfg.Replicas = *replicasN
 	if *faultSpec != "" {
 		plan, err := faults.ParseSpec(*faultSpec)
 		if err != nil {
@@ -145,6 +147,15 @@ func main() {
 				i, nic.Reads.Value(), nic.Writes.Value(), nic.CompletionErrors.Value(),
 				sim.Time(sys.Nodes[i].StalledTime()).Micros())
 		}
+	}
+	// Failover stats only exist when a crash plan armed the failure
+	// detector, so crash-free invocations print byte-identically to
+	// builds without crash support.
+	if sys.Health != nil {
+		fmt.Printf("failover    timeouts=%d detected=%d failover-reads=%d repaired=%d unrepairable=%d repair-p99-us=%.0f\n",
+			sys.Fabric.TimeoutErrors(), sys.Health.Detected.Value(),
+			sys.Mgr.FailoverReads.Value(), sys.Repair.Repaired.Value(),
+			sys.Repair.Unrepairable.Value(), sim.Time(sys.Repair.RepairLat.P99()).Micros())
 	}
 	fmt.Printf("paging      evictions=%d writebacks=%d stalls=%d resident-frames=%d/%d\n",
 		sys.Mgr.Evictions.Value(), sys.Mgr.DirtyWritebacks.Value(), sys.Mgr.AllocStalls.Value(),

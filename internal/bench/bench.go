@@ -112,6 +112,23 @@ func SetMemNodes(n int) {
 	memNodes = n
 }
 
+// replicas is the process-wide page replication factor applied to every
+// system an experiment builds (installed from the CLI's -replicas
+// flag). 1 is the paper's unreplicated store and is byte-identical to a
+// build without replication support. The failover experiment overrides
+// it per point for its R sweep.
+var replicas = 1
+
+// SetReplicas installs the default replication factor for subsequently
+// built systems (r < 1 is treated as 1; core clamps to the node count).
+// Not safe to call concurrently with running experiments.
+func SetReplicas(r int) {
+	if r < 1 {
+		r = 1
+	}
+	replicas = r
+}
+
 func (o *Options) printf(format string, args ...any) {
 	if o.Out != nil {
 		fmt.Fprintf(o.Out, format, args...)
@@ -154,6 +171,12 @@ type Point struct {
 	Retries   int64
 	Completed int64
 
+	// Failovers counts fetches re-routed to a replica off a dead node
+	// and Repaired the copies re-replication restored — both zero unless
+	// a crash plan is active (see the failover experiment).
+	Failovers int64
+	Repaired  int64
+
 	// Per-class percentiles (e.g. GET/SCAN), when the workload is
 	// classified.
 	Class map[string]ClassLat
@@ -184,6 +207,7 @@ func buildPreset(localFrac float64, mut mutator,
 		cfg.Seed = seed
 		cfg.Faults = faultPlan
 		cfg.MemNodes = memNodes
+		cfg.Replicas = replicas
 		if mut != nil {
 			mut(&cfg)
 		}
@@ -282,6 +306,8 @@ func (o *Options) runPointSeeded(b builder, mode core.Mode, rps float64, seed in
 		Aborts:    res.Aborts,
 		Retries:   res.Retries,
 		Completed: res.Completed,
+		Failovers: res.Failovers,
+		Repaired:  res.Repaired,
 	}
 	if len(res.Gen.ByClass) > 0 {
 		pt.Class = make(map[string]ClassLat)
@@ -470,6 +496,7 @@ var experiments = map[string]func(Options){
 	"infiniswap":    func(o Options) { Infiniswap(o) },
 	"resilience":    func(o Options) { Resilience(o) },
 	"shards":        func(o Options) { Shards(o) },
+	"failover":      func(o Options) { Failover(o) },
 }
 
 // Run executes the experiment with the given id. Returns an error for
@@ -494,7 +521,7 @@ func All() []string {
 		"abl-quantum", "abl-pool", "abl-twosided", "abl-steal",
 		"abl-ipi", "abl-evict", "abl-hugepage", "abl-canvas",
 		"abl-multidisp", "abl-transport", "infiniswap", "resilience",
-		"shards",
+		"shards", "failover",
 	}
 }
 

@@ -12,6 +12,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/ethernet"
 	"repro/internal/faults"
 	"repro/internal/loadgen"
@@ -83,6 +85,11 @@ type Config struct {
 	// striped across (0 or 1 = the paper's single memory node; a
 	// one-node run is byte-identical to the pre-sharding system).
 	MemNodes int
+
+	// Replicas is the page replication factor: each page gets a primary
+	// plus Replicas-1 copies on distinct nodes (clamped to MemNodes).
+	// 0 or 1 is today's unreplicated store, byte-identical to it.
+	Replicas int
 
 	// Shard selects the shard-placement policy for multi-node runs;
 	// nil is Stripe (page p → node p mod N).
@@ -177,6 +184,12 @@ type System struct {
 	// no plan is enabled). Faults aliases the first non-nil injector.
 	Injectors []*faults.Injector
 	Faults    *faults.Injector
+
+	// Health and Repair exist only on runs with a crash= plan: the
+	// failure detector over the fabric and the background re-replicator.
+	// Both nil otherwise, so crash-free runs schedule no extra events.
+	Health *rdma.Health
+	Repair *paging.Repairer
 }
 
 // NewSystem builds the data plane. Applications then allocate their
@@ -188,6 +201,9 @@ func NewSystem(cfg Config) *System {
 	}
 	env := sim.NewEnv(cfg.Seed)
 	shards := NewShardMap(n, cfg.Shard)
+	if cfg.Replicas > 1 {
+		shards.SetReplicas(cfg.Replicas)
+	}
 	nodes := make([]*memnode.Node, n)
 	for k := range nodes {
 		nodes[k] = memnode.New(cfg.MemNodeBytes)
@@ -199,13 +215,14 @@ func NewSystem(cfg Config) *System {
 		Fabric: rdma.NewFabric(env, cfg.RDMA, n),
 		Nodes:  nodes,
 		Node:   nodes[0],
-		Mem:    memnode.NewCluster(nodes, paging.PageSize, shards.Place()),
+		Mem: memnode.NewClusterReplicated(nodes, paging.PageSize, shards.Place(),
+			shards.Replicas(), shards.ReplicaAt()),
 		Shards: shards,
 		Mgr:    paging.NewManager(env, cfg.Paging),
 		Pool:   unithread.NewPool(cfg.PoolSize, cfg.BufSize),
 	}
 	sys.NIC = sys.Fabric[0]
-	if cfg.Faults.Enabled() {
+	if cfg.Faults.Injects() {
 		sys.Injectors = make([]*faults.Injector, n)
 		for k := 0; k < n; k++ {
 			if !cfg.Faults.Targets(k) {
@@ -219,6 +236,18 @@ func NewSystem(cfg Config) *System {
 			}
 		}
 	}
+	if cfg.Faults.CrashSet {
+		if cfg.Faults.CrashNode >= n {
+			panic(fmt.Sprintf("core: crash plan targets node %d of %d", cfg.Faults.CrashNode, n))
+		}
+		var rejoin sim.Time
+		if cfg.Faults.RejoinSet {
+			rejoin = cfg.Faults.RejoinAt
+		}
+		sys.Fabric[cfg.Faults.CrashNode].ScheduleCrash(cfg.Faults.CrashAt, rejoin)
+		sys.Health = rdma.NewHealth(env, sys.Fabric, rdma.DefaultHealthConfig())
+		sys.Mgr.SetHealth(sys.Health)
+	}
 	return sys
 }
 
@@ -230,6 +259,16 @@ func (sys *System) Start(handler workload.Handler) {
 	rcq := rdma.NewCQ("reclaimer")
 	rqps := sys.Fabric.CreateQPs("reclaimer", rcq)
 	sys.Mgr.StartReclaimerQPs(rqps, rcq)
+	if sys.Health != nil {
+		fcq := rdma.NewCQ("failover")
+		fqps := sys.Fabric.CreateQPs("failover", fcq)
+		sys.Mgr.SetFailoverQPs(fqps, fcq)
+		pcq := rdma.NewCQ("repair")
+		pqps := sys.Fabric.CreateQPs("repair", pcq)
+		sys.Repair = paging.NewRepairer(sys.Mgr, pqps, pcq, paging.DefaultRepairConfig())
+		sys.Health.OnDown = sys.Repair.NodeDown
+		sys.Health.Start()
+	}
 }
 
 // RunResult summarizes one measured run.
@@ -251,6 +290,12 @@ type RunResult struct {
 	// plan is disabled.
 	Aborts  int64
 	Retries int64
+
+	// Failovers counts fetches re-routed to a replica off a dead node;
+	// Repaired counts copies restored by background re-replication.
+	// Both zero unless a crash plan is configured.
+	Failovers int64
+	Repaired  int64
 
 	// Breakdown aggregates (cycles) over completed requests, for the
 	// Figure 2(c)/7(c) decomposition.
@@ -275,6 +320,10 @@ func (sys *System) Run(app workload.App, rateRPS float64, warmup, measure sim.Ti
 	sys.Env.At(end, func() { linkUtil = sys.Fabric.InUtilization() })
 	sys.Env.Run(end + sim.Millis(50))
 
+	var repaired int64
+	if sys.Repair != nil {
+		repaired = sys.Repair.Repaired.Value()
+	}
 	now := end
 	return RunResult{
 		Mode:      sys.Cfg.Mode,
@@ -290,6 +339,8 @@ func (sys *System) Run(app workload.App, rateRPS float64, warmup, measure sim.Ti
 		Completed: sys.Sched.Completed.Value(),
 		Aborts:    sys.Sched.FaultAborts.Value(),
 		Retries:   sys.Mgr.FetchRetries.Value() + sys.Mgr.WritebackRetries.Value(),
+		Failovers: sys.Mgr.FailoverReads.Value(),
+		Repaired:  repaired,
 		Gen:       gen,
 	}
 }

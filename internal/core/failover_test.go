@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// buildStriped assembles a replicated multi-node system over the
+// microbenchmark array with a fault plan.
+func buildStriped(arrayBytes int64, seed int64, nodes, replicas int,
+	fl faults.Config) (*System, *workload.ArrayApp) {
+	cfg := Preset(Adios, int64(0.20*float64(arrayBytes)))
+	cfg.Seed = seed
+	cfg.MemNodes = nodes
+	cfg.Replicas = replicas
+	cfg.Faults = fl
+	sys := NewSystem(cfg)
+	app := workload.NewArrayApp(sys.Mgr, sys.Mem, arrayBytes)
+	app.WarmCache()
+	sys.Start(app.Handler())
+	return sys, app
+}
+
+const (
+	chaosArray   = 8 << 20 // 2048 pages over 4 nodes
+	chaosNodes   = 4
+	chaosVictim  = 1
+	chaosCrashMs = 5.0
+)
+
+var chaosCrash = faults.Config{
+	CrashAt: sim.Millis(chaosCrashMs), CrashNode: chaosVictim, CrashSet: true,
+}
+
+// runChaos drives one crash run and returns its result plus a digest of
+// everything the failover machinery decided: detection time, fault and
+// failover counters, and the repairer's order-sensitive schedule hash.
+func runChaos(t *testing.T, seed int64, replicas int) (RunResult, string) {
+	t.Helper()
+	sys, app := buildStriped(chaosArray, seed, chaosNodes, replicas, chaosCrash)
+	res := sys.Run(app, 400_000, sim.Millis(2), sim.Millis(8))
+	if app.Mismatches.Value() != 0 {
+		t.Fatalf("replicas=%d: data mismatches = %d", replicas, app.Mismatches.Value())
+	}
+	digest := fmt.Sprintf(
+		"completed=%d tput=%v aborts=%d retries=%d failovers=%d repaired=%d p999=%v "+
+			"timeouts=%d detected=%d downAt=%d repairHash=%#x unrepairable=%d pending=%d",
+		res.Completed, res.TputK, res.Aborts, res.Retries, res.Failovers, res.Repaired,
+		res.P999us, sys.Fabric.TimeoutErrors(), sys.Health.Detected.Value(),
+		sys.Health.DownAt(chaosVictim), sys.Repair.ScheduleHash(),
+		sys.Repair.Unrepairable.Value(), sys.Repair.Pending())
+	return res, digest
+}
+
+// TestFailoverDeterministic is the crash-at-a-fixed-cycle chaos test:
+// two identically seeded runs that lose a node mid-measurement must
+// agree byte-for-byte on results, counters, detection time, and the
+// repair schedule. Run under -race in CI, this also exercises the
+// failover and repair paths for data races.
+func TestFailoverDeterministic(t *testing.T) {
+	for _, replicas := range []int{1, 2} {
+		_, d1 := runChaos(t, 7, replicas)
+		_, d2 := runChaos(t, 7, replicas)
+		if d1 != d2 {
+			t.Fatalf("replicas=%d: same-seed crash runs diverge:\n%s\n%s", replicas, d1, d2)
+		}
+	}
+}
+
+// TestReplicatedCrashLosesNothing pins the headline robustness claim:
+// with replicas=2 a mid-run node death aborts zero requests — every
+// fetch of the dead stripe fails over to the surviving copy — and
+// background repair restores exactly the copies the dead node held.
+// The same run unreplicated loses the dead stripe's share instead.
+func TestReplicatedCrashLosesNothing(t *testing.T) {
+	res2, _ := runChaos(t, 7, 2)
+	if res2.Aborts != 0 {
+		t.Fatalf("replicas=2: %d requests aborted across a node death", res2.Aborts)
+	}
+	if res2.Failovers == 0 {
+		t.Fatal("replicas=2: no failover reads despite a dead primary")
+	}
+	// Node 1 holds the primary of every page p ≡ 1 (mod 4) and the
+	// replica of every page p ≡ 0 (mod 4): half the pages, one copy each.
+	const pages = chaosArray / (4 << 10)
+	if want := int64(pages / 2); res2.Repaired != want {
+		t.Fatalf("replicas=2: repaired %d copies, want %d (the dead node's holdings)",
+			res2.Repaired, want)
+	}
+
+	res1, _ := runChaos(t, 7, 1)
+	if res1.Aborts == 0 {
+		t.Fatal("replicas=1: node death aborted nothing — blast radius lost")
+	}
+	if res1.Repaired != 0 {
+		t.Fatalf("replicas=1: repaired %d copies with no surviving source", res1.Repaired)
+	}
+	// Sanity on the blast radius: the dead stripe is a quarter of the
+	// working set, so aborts are a visible share of post-crash traffic
+	// but nowhere near all of it.
+	if frac := float64(res1.Aborts) / float64(res1.Completed+res1.Aborts); frac < 0.01 || frac > 0.6 {
+		t.Fatalf("replicas=1: abort fraction %.3f outside sane blast radius", frac)
+	}
+}
+
+// TestCrashFreeReplicatedRunsClean: replication without a crash changes
+// capacity accounting and write-back fan-out but must not abort, fail
+// over, or repair anything.
+func TestCrashFreeReplicatedRuns(t *testing.T) {
+	sys, app := buildStriped(chaosArray, 7, chaosNodes, 2, faults.Config{})
+	res := sys.Run(app, 400_000, sim.Millis(2), sim.Millis(8))
+	if app.Mismatches.Value() != 0 || res.Aborts != 0 || res.Failovers != 0 || res.Repaired != 0 {
+		t.Fatalf("crash-free replicated run: mismatches=%d aborts=%d failovers=%d repaired=%d",
+			app.Mismatches.Value(), res.Aborts, res.Failovers, res.Repaired)
+	}
+	if sys.Health != nil || sys.Repair != nil {
+		t.Fatal("crash-free run built the failure detector")
+	}
+	if res.Completed < 1000 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+}
+
+// TestCrashPlanValidatesNode: a crash plan naming a node outside the
+// topology must fail fast at build time, not misroute at crash time.
+func TestCrashPlanValidatesNode(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range crash node accepted")
+		}
+	}()
+	bad := faults.Config{CrashAt: sim.Millis(1), CrashNode: 4, CrashSet: true}
+	buildStriped(chaosArray, 1, 4, 2, bad)
+}

@@ -31,12 +31,14 @@ func (stripePlacement) Place(page int64, nodes int) int {
 // for page ownership — memnode regions, paging routes, and per-node
 // fault targeting all derive from it.
 type ShardMap struct {
-	nodes int
-	pol   Placement
+	nodes    int
+	pol      Placement
+	replicas int
 }
 
 // NewShardMap returns a shard map over n nodes (n < 1 is treated as
-// 1). A nil policy selects Stripe.
+// 1). A nil policy selects Stripe. The map starts unreplicated
+// (replication factor 1); SetReplicas raises it.
 func NewShardMap(n int, pol Placement) *ShardMap {
 	if n < 1 {
 		n = 1
@@ -44,11 +46,45 @@ func NewShardMap(n int, pol Placement) *ShardMap {
 	if pol == nil {
 		pol = Stripe
 	}
-	return &ShardMap{nodes: n, pol: pol}
+	return &ShardMap{nodes: n, pol: pol, replicas: 1}
 }
 
 // Nodes returns the number of memory nodes.
 func (m *ShardMap) Nodes() int { return m.nodes }
+
+// SetReplicas sets the replication factor: each page gets a primary
+// plus r-1 replicas on distinct nodes. r is clamped to [1, Nodes()] —
+// more copies than nodes cannot be placed on distinct nodes.
+func (m *ShardMap) SetReplicas(r int) {
+	if r < 1 {
+		r = 1
+	}
+	if r > m.nodes {
+		r = m.nodes
+	}
+	m.replicas = r
+}
+
+// Replicas returns the replication factor (1 = unreplicated).
+func (m *ShardMap) Replicas() int { return m.replicas }
+
+// Replica returns the node holding the k-th copy of a page: k = 0 is
+// the primary (Node), and the k-th replica lives k nodes after the
+// primary in ring order. For k < Replicas() <= Nodes() the copies land
+// on pairwise-distinct nodes under any placement policy.
+func (m *ShardMap) Replica(page int64, k int) int {
+	if k == 0 || m.nodes == 1 {
+		return m.Node(page)
+	}
+	if k < 0 || k >= m.replicas {
+		panic(fmt.Sprintf("core: replica index %d outside factor %d", k, m.replicas))
+	}
+	return (m.Node(page) + k) % m.nodes
+}
+
+// ReplicaAt returns the (page, k) → node function in the form
+// memnode.NewClusterReplicated consumes.
+func (m *ShardMap) ReplicaAt() func(page int64, k int) int { return m.Replica }
 
 // Policy returns the placement policy.
 func (m *ShardMap) Policy() Placement { return m.pol }

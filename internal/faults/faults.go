@@ -50,6 +50,18 @@ type Config struct {
 	MemEvery sim.Time
 	MemFor   sim.Time
 
+	// CrashAt schedules a full node crash (the node stops completing
+	// work requests) at the given sim time when CrashSet is true;
+	// CrashNode selects the victim. Unlike the probabilistic classes a
+	// crash is a fixed scheduled event — no RNG stream is involved, so
+	// the crash time is byte-reproducible across seeds. RejoinAt, when
+	// RejoinSet, brings the node back (empty) at a later time.
+	CrashAt   sim.Time
+	CrashNode int
+	CrashSet  bool
+	RejoinAt  sim.Time
+	RejoinSet bool
+
 	// Node restricts the plan to a single memory node (shard) when
 	// NodeSet is true; otherwise every node is targeted. The spec
 	// grammar sets both via "node=<i>". A single-node system treats
@@ -62,15 +74,23 @@ type Config struct {
 	Seed int64
 }
 
-// Targets reports whether the plan injects faults on memory node i.
+// Targets reports whether the plan injects interceptor-driven faults
+// on memory node i (crashes are scheduled directly on the NIC, not
+// through an Injector).
 func (c Config) Targets(i int) bool {
-	return c.Enabled() && (!c.NodeSet || c.Node == i)
+	return c.Injects() && (!c.NodeSet || c.Node == i)
 }
 
-// Enabled reports whether the plan injects anything.
-func (c Config) Enabled() bool {
+// Injects reports whether the plan needs an Injector (any of the
+// probabilistic, interceptor-driven classes is active).
+func (c Config) Injects() bool {
 	return c.WRErrRate > 0 || c.RNRRate > 0 ||
 		(c.LinkEvery > 0 && c.LinkFactor > 1) || c.MemEvery > 0
+}
+
+// Enabled reports whether the plan does anything at all.
+func (c Config) Enabled() bool {
+	return c.Injects() || c.CrashSet
 }
 
 // Injector implements rdma.Interceptor for one simulation run. It is

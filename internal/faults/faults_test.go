@@ -185,3 +185,78 @@ func TestServeDelayMirrorsIntoMemnode(t *testing.T) {
 		t.Fatal("windows not mirrored into the memory node")
 	}
 }
+
+// TestParseSpecCrashRejoinRoundTrip pins the crash grammar: exact field
+// values, the canonical rendering (node always explicit), and the
+// String() -> ParseSpec fixed point.
+func TestParseSpecCrashRejoinRoundTrip(t *testing.T) {
+	cfg, err := ParseSpec("crash=5ms:node=2,rejoin=8ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{CrashAt: sim.Millis(5), CrashNode: 2, CrashSet: true,
+		RejoinAt: sim.Millis(8), RejoinSet: true}
+	if cfg != want {
+		t.Fatalf("parsed %+v, want %+v", cfg, want)
+	}
+	if !cfg.Enabled() {
+		t.Fatal("crash plan not enabled")
+	}
+	if cfg.Injects() {
+		t.Fatal("a pure crash plan must not install probabilistic interceptors")
+	}
+	canonical := "crash=5ms:node=2,rejoin=8ms"
+	if cfg.String() != canonical {
+		t.Fatalf("String() = %q, want %q", cfg.String(), canonical)
+	}
+	again, err := ParseSpec(cfg.String())
+	if err != nil || again != cfg {
+		t.Fatalf("re-parse: %+v, %v", again, err)
+	}
+
+	// The node defaults to 0 and is rendered explicitly.
+	cfg, err = ParseSpec("crash=250us")
+	if err != nil || cfg.CrashNode != 0 || !cfg.CrashSet || cfg.RejoinSet {
+		t.Fatalf("bare crash: %+v, %v", cfg, err)
+	}
+	if cfg.String() != "crash=250us:node=0" {
+		t.Fatalf("bare crash String() = %q", cfg.String())
+	}
+}
+
+func TestParseSpecCrashErrors(t *testing.T) {
+	for _, bad := range []string{
+		"crash=",                 // missing time
+		"crash=xyz",              // bad time
+		"crash=5ms:node=x",       // malformed node index
+		"crash=5ms:node=-1",      // negative node index
+		"crash=5ms:zone=1",       // wrong parameter name
+		"crash=5ms:node=1:extra", // too many parameters
+		"crash=1e16",             // out-of-range time
+		"rejoin=1ms",             // rejoin without crash
+		"crash=2ms,rejoin=1ms",   // rejoin before crash
+		"crash=2ms,rejoin=2ms",   // rejoin not after crash
+		"rejoin=1ms:2ms",         // too many rejoin values
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestCrashEnabledButNotInjecting pins the wiring split: CrashSet flips
+// Enabled (the plan is not inert) without flipping Injects (no
+// per-operation interceptors), and Targets still keys off Injects.
+func TestCrashEnabledButNotInjecting(t *testing.T) {
+	cfg := Config{CrashAt: sim.Millis(1), CrashNode: 1, CrashSet: true}
+	if !cfg.Enabled() || cfg.Injects() {
+		t.Fatalf("crash-only plan: Enabled=%v Injects=%v", cfg.Enabled(), cfg.Injects())
+	}
+	if cfg.Targets(1) {
+		t.Fatal("crash-only plan must not target interceptors at any node")
+	}
+	cfg.WRErrRate = 0.01
+	if !cfg.Injects() || !cfg.Targets(1) {
+		t.Fatal("adding wr= must restore interceptor wiring")
+	}
+}

@@ -20,6 +20,14 @@ func FuzzParseSpec(f *testing.F) {
 		"zap=1",
 		"wr=NaN",
 		"mem=Inf:1us",
+		"crash=5ms:node=1",
+		"crash=1ms,rejoin=2ms",
+		"crash=250us",
+		"crash=5ms:node=x",
+		"crash=5ms:node=-1",
+		"rejoin=1ms",
+		"crash=2ms,rejoin=1ms",
+		"crash=1e16",
 	} {
 		f.Add(seed)
 	}

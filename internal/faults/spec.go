@@ -16,13 +16,18 @@ import (
 //	rnr=RATE:DUR         RNR-delay probability and mean delay
 //	link=EVERY:FOR:MULT  mean gap, mean duration, slowdown factor (> 1)
 //	mem=EVERY:FOR        memory-node stalls: mean gap, mean duration
+//	crash=T[:node=I]     kill memory node I (default 0) at time T
+//	rejoin=T             crashed node comes back empty at time T (> crash)
 //	node=I               restrict the plan to memory node I (sharded runs)
 //	seed=N               fault-stream seed (also settable via -fault-seed)
 //
 // Durations accept "us"/"µs", "ms", "s" suffixes, or bare CPU cycles.
 // Example: "wr=0.01,rnr=0.005:20us,link=300us:50us:4,mem=800us:100us".
 // With "node=2,mem=25ms:100us" only memory node 2 stalls; the other
-// shards stay healthy. The empty string parses to the disabled plan.
+// shards stay healthy. Unlike the probabilistic classes, crash is a
+// scheduled event: "crash=5ms:node=1" makes node 1 stop completing
+// work requests at exactly 5ms into the run, every run, independent of
+// any seed. The empty string parses to the disabled plan.
 func ParseSpec(spec string) (Config, error) {
 	var cfg Config
 	spec = strings.TrimSpace(spec)
@@ -46,7 +51,15 @@ func ParseSpec(spec string) (Config, error) {
 				if e := parseRate(p[0], &cfg.RNRRate); e != nil {
 					return e
 				}
-				return parseDur(p[1], &cfg.RNRDelay)
+				if e := parseDur(p[1], &cfg.RNRDelay); e != nil {
+					return e
+				}
+				if cfg.RNRRate == 0 {
+					// A zero rate disables the class; drop the payload so
+					// the canonical form round-trips to the identical plan.
+					cfg.RNRDelay = 0
+				}
+				return nil
 			})
 		case "link":
 			err = parseArgs(key, parts, 3, func(p []string) error {
@@ -61,6 +74,10 @@ func ParseSpec(spec string) (Config, error) {
 					return fmt.Errorf("slowdown factor %q must be finite and > 1", p[2])
 				}
 				cfg.LinkFactor = f
+				if cfg.LinkEvery == 0 {
+					// A zero gap disables the class (see rnr above).
+					cfg.LinkFor, cfg.LinkFactor = 0, 0
+				}
 				return nil
 			})
 		case "mem":
@@ -68,7 +85,41 @@ func ParseSpec(spec string) (Config, error) {
 				if e := parseDur(p[0], &cfg.MemEvery); e != nil {
 					return e
 				}
-				return parseDur(p[1], &cfg.MemFor)
+				if e := parseDur(p[1], &cfg.MemFor); e != nil {
+					return e
+				}
+				if cfg.MemEvery == 0 {
+					// A zero gap disables the class (see rnr above).
+					cfg.MemFor = 0
+				}
+				return nil
+			})
+		case "crash":
+			if len(parts) != 1 && len(parts) != 2 {
+				return Config{}, fmt.Errorf("faults: crash wants TIME or TIME:node=I, got %q", val)
+			}
+			if e := parseDur(parts[0], &cfg.CrashAt); e != nil {
+				return Config{}, fmt.Errorf("faults: crash: %v", e)
+			}
+			cfg.CrashSet = true
+			if len(parts) == 2 {
+				nk, nv, ok := strings.Cut(parts[1], "=")
+				if !ok || nk != "node" {
+					return Config{}, fmt.Errorf("faults: crash %q: second parameter must be node=I", val)
+				}
+				n, e := strconv.Atoi(nv)
+				if e != nil || n < 0 {
+					return Config{}, fmt.Errorf("faults: crash node %q: want a node index >= 0", nv)
+				}
+				cfg.CrashNode = n
+			}
+		case "rejoin":
+			err = parseArgs(key, parts, 1, func(p []string) error {
+				if e := parseDur(p[0], &cfg.RejoinAt); e != nil {
+					return e
+				}
+				cfg.RejoinSet = true
+				return nil
 			})
 		case "node":
 			n, e := strconv.Atoi(val)
@@ -83,10 +134,19 @@ func ParseSpec(spec string) (Config, error) {
 			}
 			cfg.Seed = n
 		default:
-			return Config{}, fmt.Errorf("faults: unknown class %q (want wr, rnr, link, mem, node, seed)", key)
+			return Config{}, fmt.Errorf("faults: unknown class %q (want wr, rnr, link, mem, crash, rejoin, node, seed)", key)
 		}
 		if err != nil {
 			return Config{}, err
+		}
+	}
+	if cfg.RejoinSet {
+		if !cfg.CrashSet {
+			return Config{}, fmt.Errorf("faults: rejoin=%s needs a crash= clause", durString(cfg.RejoinAt))
+		}
+		if cfg.RejoinAt <= cfg.CrashAt {
+			return Config{}, fmt.Errorf("faults: rejoin time %s must be after crash time %s",
+				durString(cfg.RejoinAt), durString(cfg.CrashAt))
 		}
 	}
 	return cfg, nil
@@ -108,6 +168,12 @@ func (c Config) String() string {
 	}
 	if c.MemEvery > 0 {
 		parts = append(parts, fmt.Sprintf("mem=%s:%s", durString(c.MemEvery), durString(c.MemFor)))
+	}
+	if c.CrashSet {
+		parts = append(parts, fmt.Sprintf("crash=%s:node=%d", durString(c.CrashAt), c.CrashNode))
+		if c.RejoinSet {
+			parts = append(parts, fmt.Sprintf("rejoin=%s", durString(c.RejoinAt)))
+		}
 	}
 	if c.NodeSet {
 		parts = append(parts, fmt.Sprintf("node=%d", c.Node))

@@ -27,16 +27,33 @@ var (
 // its capacity charged to — exactly one node, and all fabric traffic
 // for the page uses the owner's link. A single-node cluster degenerates
 // to the plain Node path and is behaviourally identical to it.
+// With a replication factor R > 1 every page additionally has R-1
+// replica owners on distinct nodes (placement slot k of the owner
+// function); capacity is charged to every owner, so a replicated
+// region consumes R times the bytes across the cluster.
 type Cluster struct {
 	nodes    []*Node
 	pageSize int64
 	place    func(page int64) int
+
+	replicas int
+	ownerAt  func(page int64, k int) int
 }
 
 // NewCluster builds a cluster over nodes with the given page size and
 // placement function (page number → owning node index). place may be
 // nil for a single-node cluster.
 func NewCluster(nodes []*Node, pageSize int64, place func(page int64) int) *Cluster {
+	return NewClusterReplicated(nodes, pageSize, place, 1, nil)
+}
+
+// NewClusterReplicated is NewCluster with a replication factor:
+// ownerAt(page, k) returns the node holding the k-th copy of a page
+// (slot 0 must agree with place). replicas is clamped to [1,
+// len(nodes)]; with replicas == 1 the cluster behaves exactly as
+// NewCluster's and ownerAt may be nil.
+func NewClusterReplicated(nodes []*Node, pageSize int64, place func(page int64) int,
+	replicas int, ownerAt func(page int64, k int) int) *Cluster {
 	if len(nodes) == 0 {
 		panic("memnode: cluster needs at least one node")
 	}
@@ -46,8 +63,21 @@ func NewCluster(nodes []*Node, pageSize int64, place func(page int64) int) *Clus
 	if len(nodes) > 1 && place == nil {
 		panic("memnode: multi-node cluster needs a placement function")
 	}
-	return &Cluster{nodes: nodes, pageSize: pageSize, place: place}
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > len(nodes) {
+		replicas = len(nodes)
+	}
+	if replicas > 1 && ownerAt == nil {
+		panic("memnode: replicated cluster needs an owner function")
+	}
+	return &Cluster{nodes: nodes, pageSize: pageSize, place: place,
+		replicas: replicas, ownerAt: ownerAt}
 }
+
+// Replicas returns the cluster's replication factor.
+func (c *Cluster) Replicas() int { return c.replicas }
 
 // NumNodes returns the number of memory nodes in the cluster.
 func (c *Cluster) NumNodes() int { return len(c.nodes) }
@@ -66,17 +96,28 @@ func (c *Cluster) Alloc(name string, size int64) (*Region, error) {
 	}
 	pages := (size + c.pageSize - 1) / c.pageSize
 	perNode := make([]int64, len(c.nodes))
+	reps := c.replicas
+	if reps < 1 {
+		reps = 1
+	}
 	for p := int64(0); p < pages; p++ {
 		b := c.pageSize
 		if p == pages-1 {
 			b = size - p*c.pageSize
 		}
-		owner := c.place(p)
-		if owner < 0 || owner >= len(c.nodes) {
-			return nil, fmt.Errorf("memnode: placement sent page %d to node %d (cluster has %d)",
-				p, owner, len(c.nodes))
+		// Charge the page to every owner: the primary plus each
+		// replica slot. Copies on distinct nodes each hold the bytes.
+		for k := 0; k < reps; k++ {
+			owner := c.place(p)
+			if k > 0 {
+				owner = c.ownerAt(p, k)
+			}
+			if owner < 0 || owner >= len(c.nodes) {
+				return nil, fmt.Errorf("memnode: placement sent page %d (copy %d) to node %d (cluster has %d)",
+					p, k, owner, len(c.nodes))
+			}
+			perNode[owner] += b
 		}
-		perNode[owner] += b
 	}
 	// Two-phase: check every node before committing to any, so a
 	// failure leaves no partial registration behind.
@@ -95,6 +136,8 @@ func (c *Cluster) Alloc(name string, size int64) (*Region, error) {
 		nodes:    len(c.nodes),
 		pageSize: c.pageSize,
 		place:    c.place,
+		replicas: reps,
+		ownerAt:  c.ownerAt,
 	}
 	for i, n := range c.nodes {
 		n.regions[name] = r
@@ -112,9 +155,18 @@ func (c *Cluster) MustAlloc(name string, size int64) *Region {
 	return r
 }
 
-// Region returns the named region, or nil. Every owning node carries
-// the registration, so node 0's table is authoritative.
-func (c *Cluster) Region(name string) *Region { return c.nodes[0].Region(name) }
+// Region returns the named region, or nil. Cluster allocations
+// register on every node, but regions allocated directly on a member
+// node (the single-node Alloc shortcut, or setup code mixing the two)
+// may live in just one table, so resolve against each node in turn.
+func (c *Cluster) Region(name string) *Region {
+	for _, n := range c.nodes {
+		if r := n.Region(name); r != nil {
+			return r
+		}
+	}
+	return nil
+}
 
 // Allocated returns the registered bytes summed over all nodes.
 func (c *Cluster) Allocated() int64 {

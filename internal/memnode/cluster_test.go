@@ -124,3 +124,109 @@ func TestSliceForNamesRequester(t *testing.T) {
 		t.Fatalf("unattributed Slice leaked attribution: %q", plain)
 	}
 }
+
+// TestClusterRegionResolvesOnAnyNode is the regression for Region
+// lookup delegating to nodes[0] only: a region registered directly on a
+// member node (setup code mixing node-level and cluster-level
+// allocation) must still resolve through the cluster.
+func TestClusterRegionResolvesOnAnyNode(t *testing.T) {
+	c := newCluster4(t, 1<<20)
+	r, err := c.Node(2).Alloc("side", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Region("side") != r {
+		t.Fatal("cluster Region() cannot see a region registered on node 2")
+	}
+	if c.Region("absent") != nil {
+		t.Fatal("unknown region resolved")
+	}
+}
+
+func ringOwner4(page int64, k int) int { return (int(page) + k) % 4 }
+
+// TestClusterReplicatedAlloc checks the replication accounting: every
+// copy is charged to its owner, the region reports the factor and the
+// per-slot owners, and owners of one page are distinct nodes.
+func TestClusterReplicatedAlloc(t *testing.T) {
+	nodes := make([]*Node, 4)
+	for i := range nodes {
+		nodes[i] = New(1 << 20)
+	}
+	c := NewClusterReplicated(nodes, 4096, stripe4, 2, ringOwner4)
+	if c.Replicas() != 2 {
+		t.Fatalf("Replicas() = %d", c.Replicas())
+	}
+	r := c.MustAlloc("r", 8*4096)
+	if r.Replicas() != 2 {
+		t.Fatalf("region Replicas() = %d", r.Replicas())
+	}
+	// 8 pages x 2 copies: every node owns 2 primaries and 2 replicas.
+	for i := 0; i < 4; i++ {
+		if got := c.Node(i).Allocated(); got != 4*4096 {
+			t.Errorf("node %d allocated %d, want %d", i, got, 4*4096)
+		}
+	}
+	if c.Allocated() != 2*8*4096 {
+		t.Fatalf("cluster allocated %d", c.Allocated())
+	}
+	for p := int64(0); p < 8; p++ {
+		if r.OwnerAt(p, 0) != r.NodeOf(p) {
+			t.Fatalf("page %d: slot 0 owner %d != primary %d", p, r.OwnerAt(p, 0), r.NodeOf(p))
+		}
+		if r.OwnerAt(p, 0) == r.OwnerAt(p, 1) {
+			t.Fatalf("page %d: both copies on node %d", p, r.OwnerAt(p, 0))
+		}
+	}
+}
+
+// TestClusterReplicasClamped: a factor above the node count clamps, and
+// a multi-copy cluster without an owner function panics.
+func TestClusterReplicasClamped(t *testing.T) {
+	nodes := []*Node{New(1 << 20), New(1 << 20)}
+	place := func(page int64) int { return int(page % 2) }
+	owner := func(page int64, k int) int { return (int(page) + k) % 2 }
+	if got := NewClusterReplicated(nodes, 4096, place, 9, owner).Replicas(); got != 2 {
+		t.Fatalf("factor 9 over 2 nodes clamped to %d", got)
+	}
+	if got := NewClusterReplicated(nodes, 4096, place, 0, owner).Replicas(); got != 1 {
+		t.Fatalf("factor 0 clamped to %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("replicated cluster without owner function did not panic")
+		}
+	}()
+	NewClusterReplicated(nodes, 4096, place, 2, nil)
+}
+
+// TestRegionReown checks repair re-homing: overrides take precedence
+// for the overridden slot only, and out-of-range arguments panic.
+func TestRegionReown(t *testing.T) {
+	nodes := make([]*Node, 4)
+	for i := range nodes {
+		nodes[i] = New(1 << 20)
+	}
+	c := NewClusterReplicated(nodes, 4096, stripe4, 2, ringOwner4)
+	r := c.MustAlloc("r", 8*4096)
+	r.Reown(1, 1, 3)
+	if r.OwnerAt(1, 1) != 3 {
+		t.Fatalf("slot 1 of page 1 = %d after reown, want 3", r.OwnerAt(1, 1))
+	}
+	if r.OwnerAt(1, 0) != 1 || r.NodeOf(1) != 1 {
+		t.Fatal("reown of slot 1 disturbed the primary")
+	}
+	if r.OwnerAt(2, 1) != 3%4 {
+		t.Fatalf("untouched page 2 slot 1 = %d", r.OwnerAt(2, 1))
+	}
+	r.Reown(1, 0, 2)
+	if r.NodeOf(1) != 2 {
+		t.Fatalf("primary of page 1 = %d after reown, want 2", r.NodeOf(1))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range reown did not panic")
+		}
+	}()
+	r.Reown(0, 5, 1)
+}

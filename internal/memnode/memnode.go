@@ -22,6 +22,11 @@ import (
 // nodes: Data stays one contiguous slice (the region is a single virtual
 // object), but each page has exactly one owning node — NodeOf — and all
 // fabric traffic for that page must go over the owner's link.
+// With replication (Cluster replication factor R > 1) each page
+// additionally has R-1 replica owners on distinct nodes; Data remains
+// the single authoritative byte store — per-node ownership is routing
+// and accounting metadata, as on a real memory pool where the compute
+// node holds one coherent image.
 type Region struct {
 	Name string
 	Data []byte
@@ -32,6 +37,18 @@ type Region struct {
 	nodes    int
 	pageSize int64
 	place    func(page int64) int
+
+	// Replication metadata, set by Cluster.Alloc for replicated
+	// clusters: replicas is the factor (0 or 1 = unreplicated) and
+	// ownerAt maps (page, slot) to the node holding that copy.
+	replicas int
+	ownerAt  func(page int64, k int) int
+
+	// over records repair re-homings: page → per-slot owner overrides
+	// (-1 = slot not overridden). nil until the first Reown, so the
+	// fault-free owner lookup stays a nil check away from the static
+	// placement path.
+	over map[int64][]int32
 }
 
 // Slice returns the byte view [off, off+n) of the region for use as the
@@ -67,13 +84,70 @@ func (r *Region) Nodes() int {
 	return r.nodes
 }
 
-// NodeOf returns the index of the node owning the given page of the
-// region. Unsharded regions are wholly owned by node 0.
+// NodeOf returns the index of the node owning the primary copy of the
+// given page of the region. Unsharded regions are wholly owned by node
+// 0.
 func (r *Region) NodeOf(page int64) int {
+	if r.over != nil {
+		if s, ok := r.over[page]; ok && s[0] >= 0 {
+			return int(s[0])
+		}
+	}
 	if r.nodes <= 1 || r.place == nil {
 		return 0
 	}
 	return r.place(page)
+}
+
+// Replicas returns the region's replication factor (1 when
+// unreplicated or unsharded).
+func (r *Region) Replicas() int {
+	if r.replicas < 1 {
+		return 1
+	}
+	return r.replicas
+}
+
+// OwnerAt returns the node holding the k-th copy of a page: slot 0 is
+// the primary, slots 1..Replicas()-1 the replicas. Repair re-homings
+// (Reown) take precedence over the static placement.
+func (r *Region) OwnerAt(page int64, k int) int {
+	if r.over != nil {
+		if s, ok := r.over[page]; ok && k < len(s) && s[k] >= 0 {
+			return int(s[k])
+		}
+	}
+	if k == 0 || r.ownerAt == nil {
+		return r.NodeOf(page)
+	}
+	if k < 0 || k >= r.Replicas() {
+		panic(fmt.Sprintf("memnode: region %q: replica slot %d outside factor %d",
+			r.Name, k, r.Replicas()))
+	}
+	return r.ownerAt(page, k)
+}
+
+// Reown re-homes the k-th copy of a page onto node: the background
+// repair path installs it after copying the page's bytes to the new
+// owner, restoring the replication factor around a dead node. Lookups
+// (NodeOf, OwnerAt) consult overrides first.
+func (r *Region) Reown(page int64, k int, node int) {
+	if k < 0 || k >= r.Replicas() || node < 0 || node >= r.Nodes() {
+		panic(fmt.Sprintf("memnode: region %q: reown page %d slot %d to node %d out of range",
+			r.Name, page, k, node))
+	}
+	if r.over == nil {
+		r.over = make(map[int64][]int32)
+	}
+	s, ok := r.over[page]
+	if !ok {
+		s = make([]int32, r.Replicas())
+		for i := range s {
+			s[i] = -1
+		}
+		r.over[page] = s
+	}
+	s[k] = int32(node)
 }
 
 // Size returns the region length in bytes.

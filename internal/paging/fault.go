@@ -54,6 +54,19 @@ type Fetch struct {
 	qp          *rdma.QP
 	attempts    int
 	firstFailAt int64
+
+	// node is the memory node of the last post (the copy this record is
+	// currently moving to/from); tried is the bitmask of nodes a fetch
+	// already attempted, so failover visits each owner at most once.
+	node  int
+	tried uint64
+
+	// Write-back fan-out state (zero unless the page is replicated):
+	// pending is the bitmask of owner nodes still owed a durable ack,
+	// acked the nodes that delivered one. A fan-out write-back is
+	// terminal only when pending is empty and at least one copy acked.
+	pending uint64
+	acked   uint64
 }
 
 // Writeback reports whether this record is an eviction write-back.
@@ -74,6 +87,7 @@ func (m *Manager) newFetch(s *Space, vpn int64, frame int32, writeback, demand b
 	f.frame, f.writeback, f.demand = frame, writeback, demand
 	f.issuedAt = int64(m.env.Now())
 	f.qp, f.attempts, f.firstFailAt = nil, 1, -1
+	f.node, f.tried, f.pending, f.acked = 0, 0, 0, 0
 	return f
 }
 
@@ -166,9 +180,11 @@ func (m *Manager) startFetch(t Thread, f *Fetch) {
 	fr := &m.frames[f.frame]
 	fr.space, fr.vpn, fr.state = s.id, vpn, frameFilling
 
-	node := s.region.NodeOf(vpn)
+	node := m.fetchNode(s, vpn)
 	qp := t.QP(node)
 	f.qp = qp
+	f.node = node
+	f.tried = 1 << uint(node)
 	for {
 		err := qp.PostRead(fr.data, s.region.SliceFor(vpn*PageSize, PageSize, node, qp.Name()), f)
 		if err == nil {
@@ -176,6 +192,42 @@ func (m *Manager) startFetch(t Thread, f *Fetch) {
 		}
 		qp.WaitSlot(t.Proc())
 	}
+}
+
+// fetchNode picks the node a fetch of (s, vpn) should read from: the
+// primary owner, unless the health oracle already declared it dead and
+// a live replica exists. With no oracle installed this is exactly
+// Region.NodeOf.
+func (m *Manager) fetchNode(s *Space, vpn int64) int {
+	node := s.region.NodeOf(vpn)
+	if m.health == nil || m.health.Live(node) {
+		return node
+	}
+	for k := 1; k < s.region.Replicas(); k++ {
+		if o := s.region.OwnerAt(vpn, k); m.health.Live(o) {
+			m.FailoverReads.Inc()
+			return o
+		}
+	}
+	// No live owner: post to the primary anyway; the timeout path will
+	// abort the access honestly.
+	return node
+}
+
+// failoverNode returns the next owner of f's page that is live and not
+// yet tried, for re-routing after a dead-node timeout.
+func (m *Manager) failoverNode(s *Space, f *Fetch) (int, bool) {
+	for k := 0; k < s.region.Replicas(); k++ {
+		o := s.region.OwnerAt(f.VPN, k)
+		if f.tried&(1<<uint(o)) != 0 {
+			continue
+		}
+		if m.health != nil && !m.health.Live(o) {
+			continue
+		}
+		return o, true
+	}
+	return 0, false
 }
 
 // issueAsync starts a non-blocking fetch of an absent page (prefetch or
@@ -186,7 +238,7 @@ func (m *Manager) issueAsync(t Thread, s *Space, vpn int64) bool {
 	if vpn >= s.Pages() || s.ptes[vpn].state != pageAbsent {
 		return true // nothing to do; not a resource failure
 	}
-	node := s.region.NodeOf(vpn)
+	node := m.fetchNode(s, vpn)
 	qp := t.QP(node)
 	if qp.Full() || qp.Errored() {
 		return false
@@ -197,6 +249,8 @@ func (m *Manager) issueAsync(t Thread, s *Space, vpn int64) bool {
 	}
 	f := m.newFetch(s, vpn, fr, false, false)
 	f.qp = qp
+	f.node = node
+	f.tried = 1 << uint(node)
 	e := &s.ptes[vpn]
 	e.state = pageFetching
 	e.fetch = f
@@ -286,6 +340,28 @@ func (m *Manager) prefetchAround(t Thread, s *Space, vpn int64) {
 //     the page reverts to absent and waiters receive a *FetchError;
 //   - an unawaited prefetch is simply dropped — it was optional.
 func (m *Manager) Complete(f *Fetch, cerr error) bool {
+	return m.CompleteOn(f, cerr, f.qp)
+}
+
+// CompleteOn is Complete with the completion's QP, which identifies the
+// replica a fan-out write-back's ack came from. For every other record
+// the QP is incidental and Complete delegates here with the record's
+// own. Two extra machines hang off this dispatch point:
+//
+//   - a replicated write-back (pending mask set) is durable once every
+//     still-live targeted replica acked — per-copy errors retry that
+//     copy, a dead replica is dropped from the quorum;
+//   - a fetch that timed out against a dead node re-routes to the next
+//     live untried replica, or — when the last replica is dead — aborts
+//     through the *FetchError path immediately rather than burning the
+//     remaining retry budget against a node that cannot answer.
+func (m *Manager) CompleteOn(f *Fetch, cerr error, qp *rdma.QP) bool {
+	if f.writeback && f.pending != 0 {
+		return m.completeWBFanout(f, cerr, qp)
+	}
+	if cerr == rdma.ErrNodeDead && !f.writeback {
+		return m.completeDeadFetch(f, cerr)
+	}
 	if cerr != nil {
 		return m.completeError(f, cerr)
 	}
@@ -334,7 +410,12 @@ func (m *Manager) completeError(f *Fetch, cerr error) bool {
 		}
 		// Retried until durable: the frame stays in write-back state and
 		// keeps the dirty data; the page is never freed before the bytes
-		// are safely remote.
+		// are safely remote. An unreplicated write-back against a dead
+		// node keeps retrying into it — that stranded frame is exactly
+		// the replicas=1 blast radius — but still feeds the detector.
+		if cerr == rdma.ErrNodeDead && m.health != nil {
+			m.health.ReportTimeout(f.node)
+		}
 		m.WritebackRetries.Inc()
 		m.scheduleRepost(f)
 		return false
@@ -366,6 +447,183 @@ func (m *Manager) completeError(f *Fetch, cerr error) bool {
 	return false
 }
 
+// completeDeadFetch handles a fetch whose work request timed out
+// against a crashed node: report the timeout to the detector, then
+// re-route to the next live untried replica, or abort when none exists.
+func (m *Manager) completeDeadFetch(f *Fetch, cerr error) bool {
+	s := f.Space
+	e := &s.ptes[f.VPN]
+	if f.firstFailAt < 0 {
+		f.firstFailAt = int64(m.env.Now())
+	}
+	if m.health != nil {
+		m.health.ReportTimeout(f.node)
+	}
+	if e.state != pageFetching {
+		panic("paging: fetch completion on page not fetching")
+	}
+	if !f.demand && len(f.waiters) == 0 {
+		m.PrefetchDrops.Inc()
+		e.state, e.fetch = pageAbsent, nil
+		m.freeFrame(f.frame)
+		m.recycleFetch(f)
+		return true
+	}
+	if next, ok := m.failoverNode(s, f); ok && m.failQPs != nil {
+		m.FailoverReads.Inc()
+		m.FetchRetries.Inc()
+		f.tried |= 1 << uint(next)
+		f.node = next
+		f.qp = m.failQPs[next]
+		m.scheduleRepost(f)
+		return false
+	}
+	// The last replica is dead (or failover is not wired): the access
+	// cannot succeed — fail it now, honestly, instead of retrying into
+	// a node that cannot answer.
+	m.FetchAborts.Inc()
+	e.state, e.fetch = pageAbsent, nil
+	m.freeFrame(f.frame)
+	ferr := &FetchError{Space: s.name, VPN: f.VPN, Attempts: f.attempts, Err: cerr}
+	for _, w := range f.waiters {
+		w(ferr)
+	}
+	m.recycleFetch(f)
+	return true
+}
+
+// wbPlan returns the bitmask of live owner nodes for a page and the
+// first live owner in slot order (the node the reclaimer's slot-waited
+// primary post targets). mask == 0 means no owner is live.
+func (m *Manager) wbPlan(s *Space, vpn int64) (mask uint64, first int) {
+	first = -1
+	for k := 0; k < s.region.Replicas(); k++ {
+		o := s.region.OwnerAt(vpn, k)
+		if m.health != nil && !m.health.Live(o) {
+			continue
+		}
+		if first < 0 {
+			first = o
+		}
+		mask |= 1 << uint(o)
+	}
+	return mask, first
+}
+
+// completeWBFanout advances a replicated write-back on one replica's
+// completion. Durability (invariant 5) is reached when every targeted
+// copy either acked or died — with at least one ack — so a dead replica
+// shrinks the quorum instead of wedging it, and a transient error
+// retries only that copy.
+func (m *Manager) completeWBFanout(f *Fetch, cerr error, qp *rdma.QP) bool {
+	s := f.Space
+	e := &s.ptes[f.VPN]
+	if e.state != pageWriteback {
+		panic("paging: write-back completion on page not in write-back")
+	}
+	bit := uint64(1) << uint(qp.Node())
+	switch {
+	case cerr == nil:
+		f.acked |= bit
+		f.pending &^= bit
+	case cerr == rdma.ErrNodeDead:
+		if m.health != nil {
+			m.health.ReportTimeout(qp.Node())
+		}
+		if f.firstFailAt < 0 {
+			f.firstFailAt = int64(m.env.Now())
+		}
+		f.pending &^= bit
+	default:
+		if f.firstFailAt < 0 {
+			f.firstFailAt = int64(m.env.Now())
+		}
+		m.WritebackRetries.Inc()
+		m.scheduleRepostWB(f, qp.Node())
+		return false
+	}
+	if f.pending != 0 {
+		return false
+	}
+	if f.acked == 0 {
+		// Every targeted replica died before acking. The dirty frame is
+		// not droppable: re-target the write-back at the current live
+		// owner set (which repair and rejoins may have changed).
+		m.WritebackRetries.Inc()
+		m.retargetWB(f)
+		return false
+	}
+	e.state = pageAbsent
+	e.fetch = nil
+	e.dirty = false
+	m.freeFrame(f.frame)
+	if f.firstFailAt >= 0 {
+		m.RecoveryLat.Record(int64(m.env.Now()) - f.firstFailAt)
+	}
+	for _, w := range f.waiters {
+		w(nil)
+	}
+	m.recycleFetch(f)
+	return true
+}
+
+// postReplicas fans a fresh write-back out to every targeted replica
+// beyond the node the reclaimer already posted to.
+func (m *Manager) postReplicas(f *Fetch, posted int) {
+	for n := 0; n < len(m.wbQPs); n++ {
+		if n == posted || f.pending&(1<<uint(n)) == 0 {
+			continue
+		}
+		m.ReplicaWrites.Inc()
+		m.postWBNode(f, n)
+	}
+}
+
+// postWBNode posts f's write-back toward node n, retrying in event
+// context while that node's write-back QP is saturated or resetting.
+// The record cannot be recycled while the post is outstanding: node n's
+// pending bit stays set until a completion from n clears it, and no
+// completion can arrive before the post succeeds.
+func (m *Manager) postWBNode(f *Fetch, n int) {
+	qp := m.wbQPs[n]
+	if qp.Errored() || qp.Full() {
+		m.env.After(m.cfg.RetryBackoff, func() { m.postWBNode(f, n) })
+		return
+	}
+	s := f.Space
+	remote := s.region.SliceFor(f.VPN*PageSize, PageSize, n, qp.Name())
+	if qp.PostWrite(remote, m.frames[f.frame].data, f) != nil {
+		m.env.After(m.cfg.RetryBackoff, func() { m.postWBNode(f, n) })
+	}
+}
+
+// scheduleRepostWB retries one replica's copy of a fan-out write-back
+// after backoff.
+func (m *Manager) scheduleRepostWB(f *Fetch, n int) {
+	m.env.After(m.backoff(f.attempts), func() {
+		f.attempts++
+		m.postWBNode(f, n)
+	})
+}
+
+// retargetWB restarts a fan-out write-back whose whole quorum died:
+// recompute the live owner set and post to each member, or wait out a
+// backoff when no owner is live yet (a rejoin or repair may revive one).
+func (m *Manager) retargetWB(f *Fetch) {
+	mask, _ := m.wbPlan(f.Space, f.VPN)
+	if mask == 0 {
+		m.env.After(m.backoff(f.attempts), func() { m.retargetWB(f) })
+		return
+	}
+	f.pending = mask
+	f.attempts++
+	for n := 0; n < len(m.wbQPs); n++ {
+		if f.pending&(1<<uint(n)) != 0 {
+			m.postWBNode(f, n)
+		}
+	}
+}
+
 // scheduleRepost re-posts f after an exponential backoff (base
 // Config.RetryBackoff, doubling per attempt, capped at 16×). Runs in
 // event context: no thread blocks on the retry itself.
@@ -394,7 +652,7 @@ func (m *Manager) repost(f *Fetch) {
 		return
 	}
 	s := f.Space
-	remote := s.region.SliceFor(f.VPN*PageSize, PageSize, s.region.NodeOf(f.VPN), qp.Name())
+	remote := s.region.SliceFor(f.VPN*PageSize, PageSize, f.node, qp.Name())
 	var err error
 	if f.writeback {
 		err = qp.PostWrite(remote, m.frames[f.frame].data, f)

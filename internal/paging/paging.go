@@ -188,6 +188,20 @@ type Manager struct {
 	PrefetchDrops    stats.Counter // optional prefetches dropped on error
 	WritebackRetries stats.Counter // failed write-backs re-posted
 
+	// Crash-failover counters (all zero unless a crash plan is wired).
+	FailoverReads stats.Counter // fetches re-routed off a dead node to a replica
+	ReplicaWrites stats.Counter // extra write-back posts fanned out to replicas
+
+	// health is the node-liveness oracle (nil = every node live, the
+	// fault-free fast path). wbQPs are the reclaimer's per-node QPs,
+	// reused for write-back replica fan-out so every copy's completion
+	// lands on the reclaimer CQ it is drained from. failQPs are
+	// manager-owned per-node QPs for failover re-posts, whose CQ drains
+	// itself in event context (no thread ever polls it).
+	health  NodeHealth
+	wbQPs   []*rdma.QP
+	failQPs []*rdma.QP
+
 	// RecoveryLat records, per page movement that saw at least one
 	// completion error but eventually succeeded, the time from the
 	// first error to the successful completion.
@@ -231,6 +245,39 @@ func NewManager(env *sim.Env, cfg Config) *Manager {
 
 // Config returns the paging configuration.
 func (m *Manager) Config() Config { return m.cfg }
+
+// NodeHealth is the failure-detector face the paging layer consults:
+// rdma.Health implements it. Live gates routing decisions; the manager
+// feeds data-path timeouts back through ReportTimeout so detection
+// under load outruns the heartbeat.
+type NodeHealth interface {
+	Live(node int) bool
+	ReportTimeout(node int)
+}
+
+// SetHealth installs the node-liveness oracle. nil (the default) keeps
+// the fault-free routing paths, which never consult health at all.
+func (m *Manager) SetHealth(h NodeHealth) { m.health = h }
+
+// SetFailoverQPs gives the manager its own per-node QPs for failover
+// re-posts (a retry in completion context has no faulting thread — and
+// therefore no worker QP — to post on). Their CQ is drained inline on
+// delivery: completions re-enter CompleteOn from event context, which
+// wakes fetch waiters exactly as a polling thread would.
+func (m *Manager) SetFailoverQPs(qps []*rdma.QP, cq *rdma.CQ) {
+	m.failQPs = qps
+	cq.Notify = func() {
+		for {
+			cs := cq.Poll(16)
+			if len(cs) == 0 {
+				return
+			}
+			for _, c := range cs {
+				m.CompleteOn(c.Cookie.(*Fetch), c.Err, c.QP)
+			}
+		}
+	}
+}
 
 // TotalFrames returns the frame pool size in pages.
 func (m *Manager) TotalFrames() int { return len(m.frames) }

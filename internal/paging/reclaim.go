@@ -34,6 +34,7 @@ func (m *Manager) StartReclaimer(qp *rdma.QP, cq *rdma.CQ) *sim.Task {
 func (m *Manager) StartReclaimerQPs(qps []*rdma.QP, cq *rdma.CQ) *sim.Task {
 	cqGate := sim.NewGate(m.env)
 	cq.Notify = cqGate.Wake
+	m.wbQPs = qps // replica fan-out posts share these QPs (and this CQ)
 	r := &reclaimer{m: m, qps: qps, cq: cq, cqGate: cqGate}
 	r.t = sim.NewTask(m.env, "reclaimer", r.fire)
 	// One creation-time event, standing in for the proc's start event:
@@ -134,9 +135,18 @@ func (r *reclaimer) processVictim() bool {
 	m.unmapped(fi)
 	if e.dirty {
 		node := s.region.NodeOf(f.vpn)
-		qp := r.qps[node]
 		rec := m.newFetch(s, f.vpn, fi, true, false)
+		if s.region.Replicas() > 1 {
+			// Fan out to every live owner; the slot-waited primary post
+			// targets the first live one. A fully dead owner set falls
+			// back to the unreplicated retry-forever path.
+			if mask, first := m.wbPlan(s, f.vpn); mask != 0 {
+				rec.pending, node = mask, first
+			}
+		}
+		qp := r.qps[node]
 		rec.qp = qp
+		rec.node = node
 		e.state = pageWriteback
 		e.fetch = rec
 		f.state = frameWriteback
@@ -157,14 +167,17 @@ func (r *reclaimer) tryPost(fi int32) bool {
 	m := r.m
 	f := &m.frames[fi]
 	s := m.spaces[f.space]
-	node := s.region.NodeOf(f.vpn)
-	qp := r.qps[node]
 	rec := s.ptes[f.vpn].fetch
+	node := rec.node
+	qp := r.qps[node]
 	if err := qp.PostWrite(s.region.SliceFor(f.vpn*PageSize, PageSize, node, qp.Name()), f.data, rec); err != nil {
 		r.pendFrame = fi
 		r.state = rsSlot
 		qp.AddSlotWaiter(r.t)
 		return false
+	}
+	if rec.pending != 0 {
+		m.postReplicas(rec, node)
 	}
 	r.inflight++
 	return true
@@ -198,7 +211,7 @@ func (r *reclaimer) await() {
 			return
 		}
 		for _, c := range cs {
-			if r.m.Complete(c.Cookie.(*Fetch), c.Err) {
+			if r.m.CompleteOn(c.Cookie.(*Fetch), c.Err, c.QP) {
 				r.inflight--
 			}
 		}

@@ -1,0 +1,271 @@
+package paging
+
+import (
+	"repro/internal/rdma"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// RepairConfig tunes background re-replication.
+type RepairConfig struct {
+	// Bandwidth caps repair traffic in bytes per cycle: after each page
+	// copy the repairer idles long enough that its average rate never
+	// exceeds the cap, so repair cannot starve foreground fetches of
+	// link time. 0.5 B/cy is ~1/9 of the link's effective data rate.
+	Bandwidth float64
+}
+
+// DefaultRepairConfig returns the calibrated repair pacing.
+func DefaultRepairConfig() RepairConfig { return RepairConfig{Bandwidth: 0.5} }
+
+// repairJob is one under-replicated copy to restore: slot k of the
+// page's owner set pointed at a node that died.
+type repairJob struct {
+	space *Space
+	vpn   int64
+	slot  int
+}
+
+// Repairer restores the replication factor after a node death. When the
+// failure detector reports a node down it scans every space for pages
+// whose owner set includes the dead node and queues one job per lost
+// copy, in deterministic (space, page, slot) order. A tier-1 task then
+// works the queue serially: READ the surviving bytes from a live owner,
+// WRITE them to a deterministically chosen new home, re-point the lost
+// slot there (Region.Reown), and idle out the bandwidth cap before the
+// next page. Data movement is modeled traffic — the region's single
+// authoritative byte store needs no copying, so the WRITE lands in a
+// scratch sink and can never clobber a write-back that raced ahead of
+// the repair.
+type Repairer struct {
+	m   *Manager
+	env *sim.Env
+	qps []*rdma.QP
+	cq  *rdma.CQ
+	t   *sim.Task
+	cfg RepairConfig
+	gap sim.Time
+
+	buf  []byte // local staging buffer (READ destination)
+	sink []byte // modeled WRITE target at the new owner
+
+	jobs  []repairJob
+	ji    int
+	state int
+	dst   int // new owner of the in-flight job's copy
+
+	hash uint64 // FNV-1a over every repaired (space, vpn, slot, dst, at)
+
+	// Repaired counts restored copies; Unrepairable counts lost copies
+	// with no live source or no eligible new home (the whole queue, when
+	// replicas=1); RepairRetries counts per-copy fabric retries.
+	Repaired      stats.Counter
+	Unrepairable  stats.Counter
+	RepairRetries stats.Counter
+
+	// RepairLat records, per restored copy, the time from the node-down
+	// verdict (job creation) to the copy being durable at its new home.
+	RepairLat *stats.Histogram
+
+	downAt sim.Time // detection time of the current wave, for RepairLat
+}
+
+const (
+	rpIdle  = iota // queue empty (or not yet started)
+	rpNext         // pick up the next job (also the bandwidth-gap wait)
+	rpRead         // READ of the surviving copy in flight
+	rpWrite        // WRITE to the new home in flight
+)
+
+// NewRepairer builds the repairer over per-node QPs created for it (all
+// completing on cq, which must be dedicated to the repairer).
+func NewRepairer(m *Manager, qps []*rdma.QP, cq *rdma.CQ, cfg RepairConfig) *Repairer {
+	def := DefaultRepairConfig()
+	if cfg.Bandwidth <= 0 {
+		cfg.Bandwidth = def.Bandwidth
+	}
+	r := &Repairer{
+		m:         m,
+		env:       m.env,
+		qps:       qps,
+		cq:        cq,
+		cfg:       cfg,
+		gap:       sim.Time(float64(PageSize) / cfg.Bandwidth),
+		buf:       make([]byte, PageSize),
+		sink:      make([]byte, PageSize),
+		hash:      1469598103934665603, // FNV-1a offset basis
+		RepairLat: stats.NewHistogram(),
+	}
+	r.t = sim.NewTask(m.env, "repair", r.fire)
+	cq.Notify = func() {
+		if !r.t.Armed() {
+			r.t.FireAt(r.env.Now())
+		}
+	}
+	return r
+}
+
+// NodeDown is the failure detector's OnDown hook: enqueue a repair job
+// for every copy the dead node held, in deterministic scan order, and
+// start the copier if it was idle.
+func (r *Repairer) NodeDown(dead int) {
+	r.downAt = r.env.Now()
+	for _, s := range r.m.spaces {
+		reps := s.region.Replicas()
+		for vpn := int64(0); vpn < s.Pages(); vpn++ {
+			for k := 0; k < reps; k++ {
+				if s.region.OwnerAt(vpn, k) == dead {
+					r.jobs = append(r.jobs, repairJob{space: s, vpn: vpn, slot: k})
+				}
+			}
+		}
+	}
+	if r.state == rpIdle && !r.t.Armed() {
+		r.state = rpNext
+		r.t.FireAfter(0)
+	}
+}
+
+// Pending returns the number of queued-but-unfinished jobs.
+func (r *Repairer) Pending() int { return len(r.jobs) - r.ji }
+
+// ScheduleHash returns an order-sensitive digest of every repair
+// performed (what was copied where, and when), for determinism tests.
+func (r *Repairer) ScheduleHash() uint64 { return r.hash }
+
+func (r *Repairer) fire() {
+	switch r.state {
+	case rpNext:
+		r.startNext()
+	case rpRead, rpWrite:
+		r.drain()
+	}
+}
+
+// startNext advances past unrepairable or stale jobs and posts the next
+// job's READ. Runs the selection loop inline — it is pure bookkeeping —
+// and parks the machine at rpIdle when the queue is drained.
+func (r *Repairer) startNext() {
+	m := r.m
+	for r.ji < len(r.jobs) {
+		j := r.jobs[r.ji]
+		reg := j.space.region
+		cur := reg.OwnerAt(j.vpn, j.slot)
+		if m.health != nil && m.health.Live(cur) {
+			// The owner came back (rejoin) or an earlier wave already
+			// re-homed this slot: nothing to restore.
+			r.ji++
+			continue
+		}
+		src, dst := r.plan(j)
+		if src < 0 || dst < 0 {
+			r.Unrepairable.Inc()
+			r.ji++
+			continue
+		}
+		r.dst = dst
+		remote := reg.SliceFor(j.vpn*PageSize, PageSize, src, r.qps[src].Name())
+		if r.qps[src].PostRead(r.buf, remote, r) != nil {
+			// Saturated repair QP cannot happen with serial use, but an
+			// errored one (fault plans) can: back off and retry.
+			r.RepairRetries.Inc()
+			r.state = rpNext
+			r.t.FireAfter(m.cfg.RetryBackoff)
+			return
+		}
+		r.state = rpRead
+		return
+	}
+	r.state = rpIdle
+	r.jobs = r.jobs[:0]
+	r.ji = 0
+}
+
+// plan picks the source (first live owner) and the new home (first live
+// node that is not already an owner) for a job. Both choices are pure
+// functions of the owner table and the health verdicts, so identically
+// seeded runs repair identically.
+func (r *Repairer) plan(j repairJob) (src, dst int) {
+	reg := j.space.region
+	src, dst = -1, -1
+	reps := reg.Replicas()
+	for k := 0; k < reps; k++ {
+		o := reg.OwnerAt(j.vpn, k)
+		if k != j.slot && (r.m.health == nil || r.m.health.Live(o)) {
+			src = o
+			break
+		}
+	}
+	if src < 0 {
+		return -1, -1
+	}
+	for n := 0; n < reg.Nodes(); n++ {
+		if r.m.health != nil && !r.m.health.Live(n) {
+			continue
+		}
+		owner := false
+		for k := 0; k < reps; k++ {
+			if k != j.slot && reg.OwnerAt(j.vpn, k) == n {
+				owner = true
+				break
+			}
+		}
+		if !owner {
+			dst = n
+			break
+		}
+	}
+	if dst < 0 {
+		return -1, -1
+	}
+	return src, dst
+}
+
+// drain consumes the in-flight verb's completion and advances the copy.
+func (r *Repairer) drain() {
+	cs := r.cq.Poll(4)
+	if len(cs) == 0 {
+		return // spurious wake; the completion's Notify will re-arm us
+	}
+	for _, c := range cs {
+		j := r.jobs[r.ji]
+		if c.Err != nil {
+			// Source or destination failed mid-copy (it may itself have
+			// died): re-plan the same job after a backoff.
+			r.RepairRetries.Inc()
+			r.state = rpNext
+			r.t.FireAfter(r.m.cfg.RetryBackoff)
+			return
+		}
+		switch r.state {
+		case rpRead:
+			if r.qps[r.dst].PostWrite(r.sink, r.buf, r) != nil {
+				r.RepairRetries.Inc()
+				r.state = rpNext
+				r.t.FireAfter(r.m.cfg.RetryBackoff)
+				return
+			}
+			r.state = rpWrite
+		case rpWrite:
+			j.space.region.Reown(j.vpn, j.slot, r.dst)
+			r.Repaired.Inc()
+			r.RepairLat.Record(int64(r.env.Now() - r.downAt))
+			r.mix(uint64(j.space.id))
+			r.mix(uint64(j.vpn))
+			r.mix(uint64(j.slot))
+			r.mix(uint64(r.dst))
+			r.mix(uint64(r.env.Now()))
+			r.ji++
+			r.state = rpNext
+			r.t.FireAfter(r.gap)
+			return
+		}
+	}
+}
+
+func (r *Repairer) mix(v uint64) {
+	for i := 0; i < 8; i++ {
+		r.hash ^= (v >> (8 * i)) & 0xff
+		r.hash *= 1099511628211 // FNV-1a prime
+	}
+}

@@ -38,8 +38,18 @@ func (f Fabric) CreateQPs(name string, cq *CQ) []*QP {
 			qn = fmt.Sprintf("%s@n%d", name, i)
 		}
 		qps[i] = nic.CreateQP(qn, cq)
+		qps[i].node = i
 	}
 	return qps
+}
+
+// TimeoutErrors sums node-dead work-request timeouts across the fabric.
+func (f Fabric) TimeoutErrors() int64 {
+	var t int64
+	for _, nic := range f {
+		t += nic.TimeoutErrors.Value()
+	}
+	return t
 }
 
 // StartWindow begins the utilization measurement window on every link.

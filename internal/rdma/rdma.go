@@ -40,6 +40,15 @@ var ErrWR = errors.New("rdma: work request completed in error")
 // IBV_WC_WR_FLUSH_ERR. The operation had no effect.
 var ErrWRFlushed = errors.New("rdma: work request flushed (QP error state)")
 
+// ErrNodeDead marks a completion whose work request was addressed to a
+// crashed memory node: the request got no response and timed out after
+// Config.DeadTimeout (the transport retry-exhaustion a real RC QP
+// reports as IBV_WC_RETRY_EXC_ERR). The operation had no effect. Unlike
+// ErrWR it does not push the QP into the error state — the failure is
+// the node's, and the paging layer reroutes to a replica instead of
+// draining and resetting the QP.
+var ErrNodeDead = errors.New("rdma: memory node dead (transport retries exhausted)")
+
 // Config holds the fabric cost model. Defaults (DefaultConfig) are
 // calibrated so an unloaded 4 KiB READ completes in ≈2.4 µs, inside the
 // 2–3 µs the paper reports for 100 GbE ConnectX-6 NICs.
@@ -75,6 +84,12 @@ type Config struct {
 	// outstanding work requests drain from the error state (modify-QP
 	// RESET→INIT→RTR→RTS). Only reachable when faults are injected.
 	ResetDelay sim.Time
+
+	// DeadTimeout is how long a work request addressed to a crashed node
+	// waits before its ErrNodeDead completion is delivered — the modeled
+	// transport retry budget. Orders of magnitude below the seconds-scale
+	// ibverbs default, as a microsecond-scale fabric must configure it.
+	DeadTimeout sim.Time
 }
 
 // DefaultConfig returns the calibrated 100 GbE fabric model.
@@ -88,6 +103,7 @@ func DefaultConfig() Config {
 		PostCost:      120,
 		PollCost:      80,
 		ResetDelay:    sim.Micros(3),
+		DeadTimeout:   sim.Micros(15),
 	}
 }
 
@@ -216,9 +232,18 @@ type NIC struct {
 	WriteBytes stats.Counter
 
 	// CompletionErrors counts error completions (injected + flushed);
-	// QPResets counts completed QP reset cycles.
+	// QPResets counts completed QP reset cycles; TimeoutErrors counts
+	// work requests that timed out against a crashed node (ErrNodeDead).
 	CompletionErrors stats.Counter
 	QPResets         stats.Counter
+	TimeoutErrors    stats.Counter
+
+	// Crash window: with hasCrash set, requests arriving at the node in
+	// [crashAt, rejoinAt) — or from crashAt on, when rejoinAt is zero —
+	// get no response and complete ErrNodeDead after DeadTimeout.
+	hasCrash bool
+	crashAt  sim.Time
+	rejoinAt sim.Time
 
 	itc    Interceptor // nil unless a fault plan is installed
 	srv    *server     // non-nil when two-sided serving is enabled
@@ -241,6 +266,7 @@ type wrOp struct {
 	cookie   any
 	n        int
 	fail     bool
+	dead     bool
 	deliver  sim.Time
 	run      func()
 	next     *wrOp
@@ -262,12 +288,14 @@ func (n *NIC) getOp() *wrOp {
 // before qp.complete runs — its wake-ups may lead back into a post that
 // reuses it.
 func (op *wrOp) fire() {
-	qp, kind, dst, src, cookie, n, fail, deliver := op.qp, op.kind, op.dst, op.src, op.cookie, op.n, op.fail, op.deliver
+	qp, kind, dst, src, cookie, n, fail, dead, deliver := op.qp, op.kind, op.dst, op.src, op.cookie, op.n, op.fail, op.dead, op.deliver
 	op.qp, op.dst, op.src, op.cookie = nil, nil, nil, nil
 	op.next = op.nic.freeOps
 	op.nic.freeOps = op
 	c := Completion{Kind: kind, Bytes: n, Cookie: cookie, QP: qp, At: deliver}
 	switch {
+	case dead:
+		c.Err = ErrNodeDead
 	case fail:
 		c.Err = ErrWR
 	case qp.errored:
@@ -289,6 +317,34 @@ func (n *NIC) Config() Config { return n.cfg }
 // SetInterceptor installs a fault plan on the fabric. Must be called
 // before any operation is posted; nil removes it.
 func (n *NIC) SetInterceptor(itc Interceptor) { n.itc = itc }
+
+// ScheduleCrash marks the NIC's memory node dead for requests arriving
+// from crashAt on; rejoinAt > crashAt revives it (empty) at that time,
+// rejoinAt == 0 makes the crash permanent. The window is static state,
+// not an event: posts consult it at their nominal arrival time, so the
+// crash is byte-reproducible regardless of seed or load. Requests whose
+// timing was already fixed before the crash instant complete normally —
+// their response bytes were on the wire.
+func (n *NIC) ScheduleCrash(crashAt, rejoinAt sim.Time) {
+	if rejoinAt != 0 && rejoinAt <= crashAt {
+		panic("rdma: crash rejoin time must be after the crash time")
+	}
+	n.hasCrash = true
+	n.crashAt = crashAt
+	n.rejoinAt = rejoinAt
+}
+
+// deadAt reports whether a request arriving at the memory node at time
+// t falls inside the crash window.
+func (n *NIC) deadAt(t sim.Time) bool {
+	return n.hasCrash && t >= n.crashAt && (n.rejoinAt == 0 || t < n.rejoinAt)
+}
+
+// CrashWindow returns the scheduled crash window (zero-valued when no
+// crash is scheduled; rejoin == 0 means permanent).
+func (n *NIC) CrashWindow() (crashed bool, crashAt, rejoinAt sim.Time) {
+	return n.hasCrash, n.crashAt, n.rejoinAt
+}
 
 // StartWindow begins the utilization measurement window (end of warm-up).
 func (n *NIC) StartWindow() {
@@ -314,6 +370,7 @@ type QP struct {
 	id   int
 	cq   *CQ
 	name string
+	node int // memory-node index (fabric position); 0 for a lone NIC
 
 	freeAt      sim.Time // per-QP ordered-execution horizon
 	outstanding int
@@ -345,6 +402,13 @@ func (qp *QP) Outstanding() int { return qp.outstanding }
 
 // Name returns the QP's debug name.
 func (qp *QP) Name() string { return qp.name }
+
+// Node returns the index of the memory node this QP is connected to (0
+// unless the QP was created through a multi-node Fabric).
+func (qp *QP) Node() int { return qp.node }
+
+// NIC returns the QP's NIC.
+func (qp *QP) NIC() *NIC { return qp.nic }
 
 // Full reports whether the QP is at depth.
 func (qp *QP) Full() bool { return qp.outstanding >= qp.nic.cfg.QPDepth }
@@ -391,6 +455,14 @@ func (qp *QP) PostRead(dst, src []byte, cookie any) error {
 	cfg := &qp.nic.cfg
 	env := qp.nic.env
 
+	// A request whose nominal arrival lands in the crash window gets no
+	// response: no link time is charged (nothing comes back), and the
+	// completion is a timeout after DeadTimeout.
+	if qp.nic.hasCrash && qp.nic.deadAt(env.Now()+cfg.ReqFlight) {
+		qp.nic.postDead(qp, OpRead, dst, src, cookie, n)
+		return nil
+	}
+
 	fail, extra, slow := qp.nic.intercept(OpRead, n)
 	arrive := qp.nic.serve(env.Now()+scale(cfg.ReqFlight, slow), n)
 	if itc := qp.nic.itc; itc != nil {
@@ -407,8 +479,8 @@ func (qp *QP) PostRead(dst, src []byte, cookie any) error {
 
 	deliver := done + scale(cfg.RespFlight, slow) + extra
 	op := qp.nic.getOp()
-	op.qp, op.kind, op.dst, op.src, op.cookie, op.n, op.fail, op.deliver =
-		qp, OpRead, dst, src, cookie, n, fail, deliver
+	op.qp, op.kind, op.dst, op.src, op.cookie, op.n, op.fail, op.dead, op.deliver =
+		qp, OpRead, dst, src, cookie, n, fail, false, deliver
 	env.At(deliver, op.run)
 	return nil
 }
@@ -431,6 +503,12 @@ func (qp *QP) PostWrite(dst, src []byte, cookie any) error {
 	cfg := &qp.nic.cfg
 	env := qp.nic.env
 
+	// Crashed node: the WRITE is never acked — timeout, no data moved.
+	if qp.nic.hasCrash && qp.nic.deadAt(env.Now()+cfg.ReqFlight) {
+		qp.nic.postDead(qp, OpWrite, dst, src, cookie, n)
+		return nil
+	}
+
 	fail, extra, slow := qp.nic.intercept(OpWrite, n)
 	// WRITE data leaves the compute node immediately after the doorbell.
 	start := maxTime(env.Now()+scale(cfg.ReqFlight/4, slow), qp.freeAt, qp.nic.outFreeAt)
@@ -452,10 +530,23 @@ func (qp *QP) PostWrite(dst, src []byte, cookie any) error {
 	served := qp.nic.serve(arrive, n)
 	deliver := served + scale(cfg.RespFlight, slow) + extra
 	op := qp.nic.getOp()
-	op.qp, op.kind, op.dst, op.src, op.cookie, op.n, op.fail, op.deliver =
-		qp, OpWrite, dst, src, cookie, n, fail, deliver
+	op.qp, op.kind, op.dst, op.src, op.cookie, op.n, op.fail, op.dead, op.deliver =
+		qp, OpWrite, dst, src, cookie, n, fail, false, deliver
 	env.At(deliver, op.run)
 	return nil
+}
+
+// postDead schedules the timeout completion for a work request posted
+// toward a crashed node. The WR holds its QP slot until the timeout
+// fires — exactly the head-of-line pressure a dead node exerts on a
+// real RC QP — but consumes no link time and is not counted as traffic.
+func (n *NIC) postDead(qp *QP, kind OpKind, dst, src []byte, cookie any, bytes int) {
+	n.TimeoutErrors.Inc()
+	deliver := n.env.Now() + n.cfg.DeadTimeout
+	op := n.getOp()
+	op.qp, op.kind, op.dst, op.src, op.cookie, op.n, op.fail, op.dead, op.deliver =
+		qp, kind, dst, src, cookie, bytes, false, true, deliver
+	n.env.At(deliver, op.run)
 }
 
 // intercept consults the fault plan for one posted work request. With no
@@ -480,7 +571,9 @@ func scale(d sim.Time, slow float64) sim.Time {
 
 func (qp *QP) complete(c Completion) {
 	qp.outstanding--
-	if c.Err != nil {
+	// A node-dead timeout is the remote side's failure: it does not push
+	// the QP into the error/drain/reset cycle — the caller reroutes.
+	if c.Err != nil && c.Err != ErrNodeDead {
 		qp.nic.CompletionErrors.Inc()
 		qp.errored = true
 	}

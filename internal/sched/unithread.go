@@ -328,7 +328,7 @@ func (u *Unithread) WaitPage(sp *paging.Space, vpn int64) {
 			for !fired && !sp.Resident(vpn) {
 				if cs := w.cq.Poll(16); len(cs) > 0 {
 					for _, comp := range cs {
-						s.mgr.Complete(comp.Cookie.(*paging.Fetch), comp.Err)
+						s.mgr.CompleteOn(comp.Cookie.(*paging.Fetch), comp.Err, comp.QP)
 					}
 					continue
 				}

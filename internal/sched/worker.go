@@ -78,7 +78,7 @@ func (w *Worker) loop(p *sim.Proc) {
 			if cs := w.cq.Poll(32); len(cs) > 0 {
 				w.charge(s.cfg.Costs.CQPoll)
 				for _, c := range cs {
-					s.mgr.Complete(c.Cookie.(*paging.Fetch), c.Err)
+					s.mgr.CompleteOn(c.Cookie.(*paging.Fetch), c.Err, c.QP)
 				}
 			}
 		}
