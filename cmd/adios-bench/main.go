@@ -59,6 +59,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/faults"
 	"repro/internal/sim"
+	"repro/internal/simcheck"
 )
 
 func main() {
@@ -76,7 +77,14 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	qdepth := flag.Bool("qdepth", false, "report the pending-event high-water mark across all simulations")
+	check := flag.Bool("check", false, "arm the simcheck invariant oracles for every built system")
 	flag.Parse()
+
+	if *check {
+		// Must precede system construction: each environment latches its
+		// checked flag when it is built.
+		simcheck.SetArmed(true)
+	}
 
 	if *list {
 		for _, id := range bench.All() {

@@ -1,0 +1,76 @@
+// Command adios-check is the seed-swarm simulation checker: it derives
+// N scenarios from a master seed — each a sampled configuration ×
+// workload × fault spec — and runs every one with the simcheck
+// invariant oracles armed plus the end-of-run global audit. A clean
+// swarm exits 0; any violation prints the offending scenario, a
+// greedily shrunk fault spec, and a one-line repro command, then exits
+// 1.
+//
+// Examples:
+//
+//	adios-check -n 200 -short            # the CI sweep
+//	adios-check -seed 7 -scenario 42     # replay one failure exactly
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/simcheck"
+	"repro/internal/simcheck/explore"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "master seed of the swarm")
+	n := flag.Int("n", 100, "number of scenarios to explore")
+	scenario := flag.Int("scenario", -1, "run only this scenario index (repro mode)")
+	short := flag.Bool("short", false, "shrink measurement windows for CI budgets")
+	verbose := flag.Bool("v", false, "print every scenario, not just failures")
+	noShrink := flag.Bool("noshrink", false, "skip fault-spec shrinking on failure")
+	flag.Parse()
+
+	// Arm before any system is built: each sim.Env latches its checked
+	// flag at construction.
+	simcheck.SetArmed(true)
+
+	lo, hi := 0, *n
+	if *scenario >= 0 {
+		lo, hi = *scenario, *scenario+1
+	}
+	failures := 0
+	for i := lo; i < hi; i++ {
+		sc := explore.Generate(*seed, i, *short)
+		res := explore.Run(sc)
+		if !res.Failed() {
+			if *verbose {
+				fmt.Printf("ok   %s (completed %d)\n", sc, res.Completed)
+			}
+			continue
+		}
+		failures++
+		fmt.Printf("FAIL %s\n", sc)
+		for _, v := range res.Violations {
+			fmt.Printf("     violation: %v\n", v)
+		}
+		if !*noShrink {
+			min := explore.Shrink(sc)
+			if min.Faults.String() != sc.Faults.String() {
+				fmt.Printf("     shrunk faults: [%s]\n", specOrNone(min.Faults.String()))
+			}
+		}
+		fmt.Printf("     %s\n", explore.ReproLine(*seed, sc))
+	}
+	if failures > 0 {
+		fmt.Printf("adios-check: %d of %d scenarios failed (seed %d)\n", failures, hi-lo, *seed)
+		os.Exit(1)
+	}
+	fmt.Printf("adios-check: %d scenarios clean (seed %d)\n", hi-lo, *seed)
+}
+
+func specOrNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}

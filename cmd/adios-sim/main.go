@@ -21,6 +21,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/kvs"
 	"repro/internal/sim"
+	"repro/internal/simcheck"
 	"repro/internal/sstable"
 	"repro/internal/tpcc"
 	"repro/internal/trace"
@@ -51,7 +52,14 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	qdepth := flag.Bool("qdepth", false, "report the simulation's pending-event high-water mark")
+	check := flag.Bool("check", false, "arm the simcheck invariant oracles for this run")
 	flag.Parse()
+
+	if *check {
+		// Must precede system construction: each environment latches its
+		// checked flag when it is built.
+		simcheck.SetArmed(true)
+	}
 
 	mode, ok := modes[strings.ToLower(*modeName)]
 	if !ok {

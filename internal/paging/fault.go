@@ -5,7 +5,20 @@ import (
 
 	"repro/internal/rdma"
 	"repro/internal/sim"
+	"repro/internal/simcheck"
+	"repro/internal/trace"
 )
+
+// failPageState raises a structured paging/fetch-state or
+// paging/wb-state violation: a completion arrived for a page whose PTE
+// is not in the state the record implies. These replaced bare panics so
+// simcheck and the chaos tests can attribute the failure.
+func failPageState(oracle string, s *Space, vpn int64, state uint8, want string) {
+	simcheck.Fail(simcheck.New(oracle,
+		"completion on page in unexpected state").
+		With("space", s.name).With("page", vpn).
+		With("state", state).With("want", want))
+}
 
 // FetchError is delivered to waiters when a demand fetch exhausts its
 // bounded retries (Config.MaxFetchAttempts). It is the simulated
@@ -164,7 +177,9 @@ func (m *Manager) RequestPage(t Thread, s *Space, vpn int64, onReady func(error)
 		return false
 
 	default:
-		panic("paging: invalid page state")
+		simcheck.Fail(simcheck.New("paging/pte-state", "invalid page state").
+			With("space", s.name).With("page", vpn).With("state", e.state))
+		return false
 	}
 }
 
@@ -206,6 +221,8 @@ func (m *Manager) fetchNode(s *Space, vpn int64) int {
 	for k := 1; k < s.region.Replicas(); k++ {
 		if o := s.region.OwnerAt(vpn, k); m.health.Live(o) {
 			m.FailoverReads.Inc()
+			m.Trace.Instant(trace.KindFailover, trace.TidFailover,
+				fmt.Sprintf("failover %s:%d -> node %d", s.name, vpn, o), m.env.Now())
 			return o
 		}
 	}
@@ -369,7 +386,7 @@ func (m *Manager) CompleteOn(f *Fetch, cerr error, qp *rdma.QP) bool {
 	e := &s.ptes[f.VPN]
 	if f.writeback {
 		if e.state != pageWriteback {
-			panic("paging: write-back completion on page not in write-back")
+			failPageState("paging/wb-state", s, f.VPN, e.state, "writeback")
 		}
 		e.state = pageAbsent
 		e.fetch = nil
@@ -377,7 +394,7 @@ func (m *Manager) CompleteOn(f *Fetch, cerr error, qp *rdma.QP) bool {
 		m.freeFrame(f.frame)
 	} else {
 		if e.state != pageFetching {
-			panic("paging: fetch completion on page not fetching")
+			failPageState("paging/fetch-state", s, f.VPN, e.state, "fetching")
 		}
 		e.state = pagePresent
 		e.frame = f.frame
@@ -406,7 +423,7 @@ func (m *Manager) completeError(f *Fetch, cerr error) bool {
 	}
 	if f.writeback {
 		if e.state != pageWriteback {
-			panic("paging: write-back completion on page not in write-back")
+			failPageState("paging/wb-state", s, f.VPN, e.state, "writeback")
 		}
 		// Retried until durable: the frame stays in write-back state and
 		// keeps the dirty data; the page is never freed before the bytes
@@ -421,7 +438,7 @@ func (m *Manager) completeError(f *Fetch, cerr error) bool {
 		return false
 	}
 	if e.state != pageFetching {
-		panic("paging: fetch completion on page not fetching")
+		failPageState("paging/fetch-state", s, f.VPN, e.state, "fetching")
 	}
 	if !f.demand && len(f.waiters) == 0 {
 		// An optional prefetch nobody is waiting on: drop it.
@@ -460,7 +477,7 @@ func (m *Manager) completeDeadFetch(f *Fetch, cerr error) bool {
 		m.health.ReportTimeout(f.node)
 	}
 	if e.state != pageFetching {
-		panic("paging: fetch completion on page not fetching")
+		failPageState("paging/fetch-state", s, f.VPN, e.state, "fetching")
 	}
 	if !f.demand && len(f.waiters) == 0 {
 		m.PrefetchDrops.Inc()
@@ -470,8 +487,13 @@ func (m *Manager) completeDeadFetch(f *Fetch, cerr error) bool {
 		return true
 	}
 	if next, ok := m.failoverNode(s, f); ok && m.failQPs != nil {
+		if simcheck.On() {
+			m.checkFailover(f, next)
+		}
 		m.FailoverReads.Inc()
 		m.FetchRetries.Inc()
+		m.Trace.Instant(trace.KindFailover, trace.TidFailover,
+			fmt.Sprintf("failover %s:%d -> node %d", s.name, f.VPN, next), m.env.Now())
 		f.tried |= 1 << uint(next)
 		f.node = next
 		f.qp = m.failQPs[next]

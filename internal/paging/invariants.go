@@ -1,9 +1,13 @@
 package paging
 
-import "fmt"
+import "repro/internal/simcheck"
 
 // CheckInvariants verifies the paging subsystem's structural invariants.
-// Tests call it between operations; it is O(frames + pages).
+// Tests call it between operations; the end-of-run audit calls it after
+// every scenario. It is O(frames + pages). Failures come back as
+// *simcheck.Violation values carrying the frame id, page, and owner
+// node, so a swarm run can print an attributable one-liner instead of a
+// bare string.
 //
 // Invariants:
 //  1. Every frame is in exactly one state, and free frames are exactly
@@ -20,7 +24,8 @@ func (m *Manager) CheckInvariants() error {
 	inFree := make(map[int32]bool, len(m.free))
 	for _, fi := range m.free {
 		if inFree[fi] {
-			return fmt.Errorf("frame %d appears twice in free list", fi)
+			return simcheck.New("paging/free-list-dup",
+				"frame appears twice in free list").With("frame", fi)
 		}
 		inFree[fi] = true
 	}
@@ -28,10 +33,15 @@ func (m *Manager) CheckInvariants() error {
 	for i := range m.frames {
 		f := &m.frames[i]
 		if (f.state == frameFree) != inFree[int32(i)] {
-			return fmt.Errorf("frame %d: state %d vs free-list membership %v", i, f.state, inFree[int32(i)])
+			return simcheck.New("paging/free-list-state",
+				"frame state disagrees with free-list membership").
+				With("frame", i).With("state", f.state).
+				With("inFree", inFree[int32(i)])
 		}
 		if f.state == frameFree && f.space != -1 {
-			return fmt.Errorf("free frame %d still owned by space %d", i, f.space)
+			return simcheck.New("paging/free-frame-owned",
+				"free frame still owned by a space").
+				With("frame", i).With("space", f.space)
 		}
 	}
 	for _, s := range m.spaces {
@@ -40,38 +50,66 @@ func (m *Manager) CheckInvariants() error {
 			switch e.state {
 			case pageAbsent:
 				if e.fetch != nil {
-					return fmt.Errorf("%s page %d absent but has fetch record", s.name, vpn)
+					return simcheck.New("paging/absent-fetch",
+						"absent page has a fetch record").
+						With("space", s.name).With("page", vpn)
 				}
 				if e.dirty {
-					return fmt.Errorf("%s page %d absent while dirty: reclaimed before write-back succeeded", s.name, vpn)
+					return simcheck.New("paging/dirty-free",
+						"page absent while dirty: reclaimed before write-back succeeded").
+						With("space", s.name).With("page", vpn).
+						With("node", s.region.NodeOf(int64(vpn)))
 				}
 			case pagePresent:
 				f := &m.frames[e.frame]
 				if f.state != frameResident || f.space != s.id || f.vpn != int64(vpn) {
-					return fmt.Errorf("%s page %d: frame %d back-pointer mismatch (%d,%d,%d)",
-						s.name, vpn, e.frame, f.state, f.space, f.vpn)
+					return simcheck.New("paging/back-pointer",
+						"resident page's frame back-pointer mismatch").
+						With("space", s.name).With("page", vpn).
+						With("frame", e.frame).With("frameState", f.state).
+						With("frameSpace", f.space).With("frameVPN", f.vpn)
 				}
 				if prev, dup := owner[e.frame]; dup {
-					return fmt.Errorf("frame %d shared by (%d,%d) and (%d,%d)", e.frame, prev[0], prev[1], s.id, vpn)
+					return simcheck.New("paging/frame-shared",
+						"frame mapped by two pages").
+						With("frame", e.frame).
+						With("firstSpace", prev[0]).With("firstPage", prev[1]).
+						With("space", s.id).With("page", vpn)
 				}
 				owner[e.frame] = [2]int64{int64(s.id), int64(vpn)}
 			case pageFetching, pageWriteback:
 				if e.fetch == nil {
-					return fmt.Errorf("%s page %d in-flight without fetch record", s.name, vpn)
+					return simcheck.New("paging/inflight-no-fetch",
+						"in-flight page without fetch record").
+						With("space", s.name).With("page", vpn).With("state", e.state)
 				}
 				if e.fetch.Space != s || e.fetch.VPN != int64(vpn) {
-					return fmt.Errorf("%s page %d fetch record for wrong page", s.name, vpn)
+					return simcheck.New("paging/fetch-mismatch",
+						"in-flight page's fetch record names the wrong page").
+						With("space", s.name).With("page", vpn).
+						With("fetchPage", e.fetch.VPN).With("node", e.fetch.node)
 				}
 				if e.state == pageWriteback {
 					if f := &m.frames[e.fetch.frame]; f.state != frameWriteback {
-						return fmt.Errorf("%s page %d in write-back but frame %d state %d", s.name, vpn, e.fetch.frame, f.state)
+						return simcheck.New("paging/wb-frame-state",
+							"page in write-back but its frame is not").
+							With("space", s.name).With("page", vpn).
+							With("frame", e.fetch.frame).With("frameState", f.state).
+							With("node", e.fetch.node)
 					}
 					if inFree[e.fetch.frame] {
-						return fmt.Errorf("%s page %d write-back frame %d is in the free list", s.name, vpn, e.fetch.frame)
+						return simcheck.New("paging/wb-frame-freed",
+							"write-back frame is in the free list").
+							With("space", s.name).With("page", vpn).
+							With("frame", e.fetch.frame).With("node", e.fetch.node)
 					}
 				}
 				if prev, dup := owner[e.fetch.frame]; dup {
-					return fmt.Errorf("frame %d shared by (%d,%d) and in-flight (%d,%d)", e.fetch.frame, prev[0], prev[1], s.id, vpn)
+					return simcheck.New("paging/frame-shared",
+						"frame shared between a mapping and an in-flight page").
+						With("frame", e.fetch.frame).
+						With("firstSpace", prev[0]).With("firstPage", prev[1]).
+						With("space", s.id).With("page", vpn)
 				}
 				owner[e.fetch.frame] = [2]int64{int64(s.id), int64(vpn)}
 			}

@@ -17,7 +17,9 @@ import (
 	"repro/internal/memnode"
 	"repro/internal/rdma"
 	"repro/internal/sim"
+	"repro/internal/simcheck"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // PageSize is the compute-node page size (4 KiB, as in the paper's
@@ -165,6 +167,16 @@ type Manager struct {
 	frameWaiters []*sim.Proc
 	reclaimGate  *sim.Gate
 
+	// freeBits mirrors free-list membership per frame for the
+	// double-free oracle. nil unless the checker was on when the
+	// manager was built (simcheck.On()); purely observational.
+	freeBits []bool
+
+	// Trace, if set, records failover-read instants on the failover
+	// track (trace.TidFailover), so crash-run traces show when and for
+	// which page reads were re-routed off a dead node.
+	Trace *trace.Recorder
+
 	// freeFetches recycles Fetch records. Every demand fault, prefetch,
 	// and write-back allocates one; Complete is their single terminal
 	// point (it clears the PTE's reference and the RDMA completion cookie
@@ -225,6 +237,12 @@ func NewManager(env *sim.Env, cfg Config) *Manager {
 	for i := int64(0); i < n; i++ {
 		m.frames[i] = frame{data: m.arena[i*PageSize : (i+1)*PageSize], space: -1}
 		m.free = append(m.free, int32(i))
+	}
+	if simcheck.On() {
+		m.freeBits = make([]bool, n)
+		for i := range m.freeBits {
+			m.freeBits[i] = true
+		}
 	}
 	if m.cfg.FetchAlign < 1 {
 		m.cfg.FetchAlign = 1
@@ -345,10 +363,14 @@ func (m *Manager) allocFrame(p *sim.Proc) int32 {
 		m.AllocStalls.Inc()
 		m.reclaimGate.Wake()
 		m.frameWaiters = append(m.frameWaiters, p)
+		m.env.MarkBlocked(p, "frame-pool")
 		p.Park()
 	}
 	idx := m.free[len(m.free)-1]
 	m.free = m.free[:len(m.free)-1]
+	if m.freeBits != nil {
+		m.freeBits[idx] = false
+	}
 	if m.cfg.Proactive && float64(len(m.free)) < m.cfg.ReclaimThreshold*float64(len(m.frames)) {
 		m.reclaimGate.Wake()
 	}
@@ -364,15 +386,25 @@ func (m *Manager) tryAllocFrame() (int32, bool) {
 	}
 	idx := m.free[len(m.free)-1]
 	m.free = m.free[:len(m.free)-1]
+	if m.freeBits != nil {
+		m.freeBits[idx] = false
+	}
 	return idx, true
 }
 
 // freeFrame returns a frame to the pool and unblocks allocation waiters.
 func (m *Manager) freeFrame(idx int32) {
+	if simcheck.On() {
+		m.checkFreeFrame(idx)
+	}
 	f := &m.frames[idx]
 	f.space, f.vpn, f.state = -1, 0, frameFree
 	m.free = append(m.free, idx)
+	if m.freeBits != nil {
+		m.freeBits[idx] = true
+	}
 	for _, w := range m.frameWaiters {
+		m.env.MarkUnblocked(w)
 		m.env.ScheduleResume(w, m.env.Now())
 	}
 	m.frameWaiters = m.frameWaiters[:0]

@@ -3,6 +3,7 @@ package paging
 import (
 	"repro/internal/rdma"
 	"repro/internal/sim"
+	"repro/internal/simcheck"
 )
 
 // StartReclaimer launches the page reclaimer. With cfg.Proactive (the
@@ -133,7 +134,10 @@ func (r *reclaimer) processVictim() bool {
 	e := &s.ptes[f.vpn]
 	m.Evictions.Inc()
 	m.unmapped(fi)
-	if e.dirty {
+	// The mutation (simcheckmutate builds only) treats a dirty page as
+	// clean, freeing its frame before the bytes are durable — the
+	// paging/dirty-free oracle must catch it in freeFrame below.
+	if e.dirty && !simcheck.Mut("paging-dirty-free") {
 		node := s.region.NodeOf(f.vpn)
 		rec := m.newFetch(s, f.vpn, fi, true, false)
 		if s.region.Replicas() > 1 {

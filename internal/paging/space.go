@@ -119,6 +119,9 @@ func (s *Space) Preload(off, n int64) {
 		}
 		fr := s.mgr.free[len(s.mgr.free)-1]
 		s.mgr.free = s.mgr.free[:len(s.mgr.free)-1]
+		if s.mgr.freeBits != nil {
+			s.mgr.freeBits[fr] = false
+		}
 		f := &s.mgr.frames[fr]
 		f.space, f.vpn, f.state = s.id, vpn, frameResident
 		copy(f.data, s.region.Slice(vpn*PageSize, PageSize))

@@ -1,0 +1,66 @@
+package rdma
+
+import (
+	"repro/internal/sim"
+	"repro/internal/simcheck"
+)
+
+// Fabric-layer invariant oracles (see package simcheck). All are called
+// behind simcheck.On() from the post/complete paths:
+//
+//	rdma/qp-depth       outstanding work requests never exceed QPDepth
+//	rdma/qp-order       the per-QP ordered-execution horizon (freeAt)
+//	                    never regresses — WR n+1 cannot finish the wire
+//	                    before WR n
+//	rdma/complete-once  every completion matches exactly one post
+//	                    (outstanding never goes negative)
+//	rdma/strike-dead    the failure detector only strikes live nodes,
+//	                    and the strike counter stays within threshold
+
+// checkDepth runs after a post takes its slot.
+func (qp *QP) checkDepth() {
+	if qp.outstanding > qp.nic.cfg.QPDepth {
+		simcheck.Fail(simcheck.New("rdma/qp-depth",
+			"outstanding work requests exceed QP depth").
+			With("qp", qp.name).With("node", qp.node).
+			With("outstanding", qp.outstanding).With("depth", qp.nic.cfg.QPDepth))
+	}
+}
+
+// checkOrder runs just before the post advances qp.freeAt to done.
+func (qp *QP) checkOrder(done sim.Time) {
+	if done < qp.freeAt {
+		simcheck.Fail(simcheck.New("rdma/qp-order",
+			"per-QP execution horizon regressed").
+			With("qp", qp.name).With("node", qp.node).
+			With("freeAt", int64(qp.freeAt)).With("done", int64(done)))
+	}
+}
+
+// checkCompleted runs after a completion releases its slot. A negative
+// outstanding count means a work request completed twice (or a
+// completion was delivered for a request never posted).
+func (qp *QP) checkCompleted() {
+	if qp.outstanding < 0 {
+		simcheck.Fail(simcheck.New("rdma/complete-once",
+			"completion without a matching posted work request").
+			With("qp", qp.name).With("node", qp.node).
+			With("outstanding", qp.outstanding))
+	}
+}
+
+// checkStrike runs when the failure detector records a missed probe or
+// data-path timeout against node i.
+func (h *Health) checkStrike(i int) {
+	if !h.live[i] {
+		simcheck.Fail(simcheck.New("rdma/strike-dead",
+			"failure detector struck a node already declared dead").
+			With("node", i).With("consec", h.consec[i]))
+	}
+	if h.consec[i] < 0 || h.consec[i] > h.cfg.Threshold {
+		simcheck.Fail(simcheck.New("rdma/strike-dead",
+			"strike counter out of bounds").
+			With("node", i).With("consec", h.consec[i]).
+			With("threshold", h.cfg.Threshold))
+	}
+}

@@ -2,6 +2,7 @@ package rdma
 
 import (
 	"repro/internal/sim"
+	"repro/internal/simcheck"
 	"repro/internal/stats"
 )
 
@@ -139,6 +140,9 @@ func (h *Health) tick() {
 }
 
 func (h *Health) strike(i int) {
+	if simcheck.On() {
+		h.checkStrike(i)
+	}
 	h.consec[i]++
 	if h.consec[i] < h.cfg.Threshold {
 		return

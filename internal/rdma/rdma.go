@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/simcheck"
 	"repro/internal/stats"
 )
 
@@ -304,6 +305,12 @@ func (op *wrOp) fire() {
 		copy(dst, src)
 	}
 	qp.complete(c)
+	if simcheck.Mut("rdma-double-complete") {
+		// Injected bug (mutation builds only): deliver the completion a
+		// second time. The complete-once oracle (or the paging completion
+		// state machine) must catch the duplicate.
+		qp.complete(c)
+	}
 }
 
 // NewNIC returns a NIC bound to env with the given cost model.
@@ -424,6 +431,7 @@ func (qp *QP) Errored() bool { return qp.errored }
 func (qp *QP) WaitSlot(p *sim.Proc) {
 	for qp.Full() || qp.errored {
 		qp.fullWaiters = append(qp.fullWaiters, p)
+		qp.env.MarkBlocked(p, "qp-slot")
 		p.Park()
 	}
 }
@@ -434,6 +442,7 @@ func (qp *QP) WaitSlot(p *sim.Proc) {
 // slot was taken (or the QP re-errored) in the meantime.
 func (qp *QP) AddSlotWaiter(w sim.Waiter) {
 	qp.fullWaiters = append(qp.fullWaiters, w)
+	qp.env.MarkBlocked(w, "qp-slot")
 }
 
 // PostRead posts a one-sided READ of len(dst) bytes from src (a view of
@@ -451,6 +460,9 @@ func (qp *QP) PostRead(dst, src []byte, cookie any) error {
 		return ErrQPFull
 	}
 	qp.outstanding++
+	if simcheck.On() {
+		qp.checkDepth()
+	}
 	n := len(dst)
 	cfg := &qp.nic.cfg
 	env := qp.nic.env
@@ -471,6 +483,9 @@ func (qp *QP) PostRead(dst, src []byte, cookie any) error {
 	start := maxTime(arrive, qp.freeAt, qp.nic.inFreeAt)
 	xfer := sim.Time(float64(n+cfg.WireOverhead) * cfg.CyclesPerByte * slow)
 	done := start + xfer
+	if simcheck.On() {
+		qp.checkOrder(done)
+	}
 	qp.freeAt = done
 	qp.nic.inFreeAt = done
 	qp.nic.inBusy.AddInterval(int64(start), int64(done))
@@ -499,6 +514,9 @@ func (qp *QP) PostWrite(dst, src []byte, cookie any) error {
 		return ErrQPFull
 	}
 	qp.outstanding++
+	if simcheck.On() {
+		qp.checkDepth()
+	}
 	n := len(src)
 	cfg := &qp.nic.cfg
 	env := qp.nic.env
@@ -514,6 +532,9 @@ func (qp *QP) PostWrite(dst, src []byte, cookie any) error {
 	start := maxTime(env.Now()+scale(cfg.ReqFlight/4, slow), qp.freeAt, qp.nic.outFreeAt)
 	xfer := sim.Time(float64(n+cfg.WireOverhead) * cfg.CyclesPerByte * slow)
 	done := start + xfer
+	if simcheck.On() {
+		qp.checkOrder(done)
+	}
 	qp.freeAt = done
 	qp.nic.outFreeAt = done
 	qp.nic.outBusy.AddInterval(int64(start), int64(done))
@@ -571,6 +592,9 @@ func scale(d sim.Time, slow float64) sim.Time {
 
 func (qp *QP) complete(c Completion) {
 	qp.outstanding--
+	if simcheck.On() {
+		qp.checkCompleted()
+	}
 	// A node-dead timeout is the remote side's failure: it does not push
 	// the QP into the error/drain/reset cycle — the caller reroutes.
 	if c.Err != nil && c.Err != ErrNodeDead {
@@ -583,6 +607,7 @@ func (qp *QP) complete(c Completion) {
 	if len(qp.fullWaiters) > 0 {
 		w := qp.fullWaiters[0]
 		qp.fullWaiters = qp.fullWaiters[1:]
+		qp.env.MarkUnblocked(w)
 		qp.env.Wake(w, qp.env.Now())
 	}
 	qp.cq.push(c)
@@ -601,6 +626,7 @@ func (qp *QP) maybeReset() {
 		qp.errored = false
 		qp.nic.QPResets.Inc()
 		for _, w := range qp.fullWaiters {
+			qp.env.MarkUnblocked(w)
 			qp.env.Wake(w, qp.env.Now())
 		}
 		qp.fullWaiters = qp.fullWaiters[:0]

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/simcheck"
+)
 
 // event is a scheduled callback. Events with equal times fire in schedule
 // order (seq), which is what makes runs deterministic. Process start and
@@ -44,6 +48,15 @@ type Env struct {
 	// dispatching events inline; the loop goroutine rethrows it so Run's
 	// caller sees panics identically however the event was dispatched.
 	inlinePanic *forwardedPanic
+
+	// Invariant-oracle state (check.go). checked is latched at
+	// construction from simcheck.On(), so arming must happen before the
+	// environment is built; blocked is the waiter registry for the
+	// lost-wakeup audit; lastAt/lastSeq back the dispatch-order oracle.
+	checked bool
+	blocked map[Waiter]string
+	lastAt  Time
+	lastSeq uint64
 }
 
 // forwardedPanic wraps a recovered panic value in transit between the
@@ -54,10 +67,15 @@ type forwardedPanic struct {
 
 // NewEnv returns an environment with its clock at zero, seeded with seed.
 func NewEnv(seed int64) *Env {
-	return &Env{
+	e := &Env{
 		rng:    NewRNG(seed),
 		parked: make(chan struct{}),
 	}
+	if simcheck.On() {
+		e.checked = true
+		e.blocked = make(map[Waiter]string)
+	}
+	return e
 }
 
 // Now returns the current simulated time.
@@ -121,6 +139,9 @@ func (e *Env) loop(until Time) {
 			if ev, ok = e.q.popSlow(until); !ok {
 				break
 			}
+		}
+		if e.checked {
+			e.checkDispatch(ev.at, ev.seq)
 		}
 		e.now = ev.at
 		if ev.proc != nil {

@@ -202,8 +202,16 @@ func (p *Proc) park() {
 func (e *Env) dispatchFrom(p *Proc) bool {
 	var ev event
 	for !e.stopped {
-		// wheel.popUntil, manually inlined as in Env.loop.
-		if e.q.hasNext && e.q.next.at <= e.until {
+		if e.checked {
+			// Checked builds pop through a recover wrapper: a wheel or
+			// dispatch-order oracle firing here would otherwise crash this
+			// process goroutine instead of reaching Run's caller.
+			var ok bool
+			if ev, ok = e.popChecked(); !ok {
+				break
+			}
+		} else if e.q.hasNext && e.q.next.at <= e.until {
+			// wheel.popUntil, manually inlined as in Env.loop.
 			ev = e.q.next
 			e.q.hasNext = false
 			e.q.count--
@@ -327,6 +335,9 @@ func (p *Proc) Sleep(d Time) {
 // inlines into Run/RunAll; the unwind loops live in the slow half.
 func (e *Env) releaseParked() {
 	e.foldMaxPending()
+	if e.checked {
+		e.auditTeardown()
+	}
 	if e.parkedHead != nil || e.freeRunners != nil {
 		e.releaseParkedSlow()
 	}

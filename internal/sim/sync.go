@@ -26,6 +26,7 @@ func (g *Gate) Wait(p *Proc) {
 		panic("sim: gate already has a waiter (" + g.waiter.waiterName() + ")")
 	}
 	g.waiter = p
+	g.env.MarkBlocked(p, "gate")
 	p.park()
 }
 
@@ -44,6 +45,7 @@ func (g *Gate) Arm(t *Task) bool {
 		panic("sim: gate already has a waiter (" + g.waiter.waiterName() + ")")
 	}
 	g.waiter = t
+	g.env.MarkBlocked(t, "gate")
 	return false
 }
 
@@ -57,6 +59,7 @@ func (g *Gate) Wake() {
 	}
 	w := g.waiter
 	g.waiter = nil
+	g.env.MarkUnblocked(w)
 	w.wakeAt(g.env, g.env.now)
 }
 
@@ -67,6 +70,9 @@ func (g *Gate) Waiting() bool { return g.waiter != nil }
 // Reset clears any waiter and pending wake, returning the gate to its
 // initial state so object pools can recycle gate-owning structures.
 func (g *Gate) Reset() {
+	if g.waiter != nil {
+		g.env.MarkUnblocked(g.waiter)
+	}
 	g.waiter = nil
 	g.pending = false
 }
@@ -99,6 +105,7 @@ func (q *Queue[T]) Push(v T) {
 		copy(q.waiters, q.waiters[1:])
 		q.waiters[n-1] = nil
 		q.waiters = q.waiters[:n-1]
+		q.env.MarkUnblocked(w)
 		q.env.scheduleResume(w, q.env.now)
 	}
 }
@@ -108,6 +115,7 @@ func (q *Queue[T]) Push(v T) {
 func (q *Queue[T]) Pop(p *Proc) T {
 	for q.Len() == 0 {
 		q.waiters = append(q.waiters, p)
+		q.env.MarkBlocked(p, "queue")
 		p.park()
 	}
 	v, _ := q.TryPop()

@@ -1,6 +1,10 @@
 package sim
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"repro/internal/simcheck"
+)
 
 // wheel is the simulator's event queue: a hierarchical timing wheel
 // (calendar queue) ordered by (at, seq), replacing the earlier binary
@@ -282,7 +286,10 @@ func (w *wheel) advance(until Time) bool {
 		w.cascade(lv, j, start)
 		return true
 	}
-	panic("sim: wheel has pending events but found none to dispatch")
+	simcheck.Fail(simcheck.New("sim/wheel-count",
+		"wheel has pending events but found none to dispatch").
+		With("count", w.count).With("low", int64(w.low)))
+	return false
 }
 
 // cascade re-files every event of level-l bucket j into the levels below
@@ -297,6 +304,12 @@ func (w *wheel) cascade(lv *wheelLevel, j int, start Time) {
 	}
 	bkt := lv.buckets[j]
 	lv.buckets[j] = bkt[:0] // keep capacity; re-placement never refills it
+	if simcheck.Mut("sim-cascade-drop") {
+		// Injected bug (mutation builds only): lose the bucket's last
+		// event during a cascade. The wheel-count oracle must catch the
+		// count/contents divergence.
+		bkt = bkt[:len(bkt)-1]
+	}
 	for i := range bkt {
 		w.place(bkt[i])
 		bkt[i] = event{}

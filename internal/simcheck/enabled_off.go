@@ -1,0 +1,7 @@
+//go:build !simcheck
+
+package simcheck
+
+// TagEnabled is false in a default build; oracles then run only when
+// armed at runtime via SetArmed (the -check flags).
+const TagEnabled = false

@@ -1,0 +1,8 @@
+//go:build simcheck
+
+package simcheck
+
+// TagEnabled compiles every invariant oracle in unconditionally. The
+// paired !simcheck file keeps it a constant false so disarmed hot-path
+// checks stay a single branch on the runtime switch.
+const TagEnabled = true

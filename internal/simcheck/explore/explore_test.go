@@ -1,0 +1,66 @@
+package explore
+
+import (
+	"testing"
+
+	"repro/internal/simcheck"
+)
+
+// TestGenerateDeterministic: (seed, index) fully determines a scenario —
+// the repro contract of the swarm.
+func TestGenerateDeterministic(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		a := Generate(7, i, true)
+		b := Generate(7, i, true)
+		if a.String() != b.String() || a.Seed != b.Seed {
+			t.Fatalf("scenario %d not deterministic:\n%s\n%s", i, a, b)
+		}
+	}
+	if Generate(7, 3, true).String() == Generate(8, 3, true).String() {
+		t.Fatal("different master seeds produced the same scenario")
+	}
+}
+
+// TestSwarmClean runs a handful of scenarios with oracles armed; they
+// must all pass (this is a tiny in-process version of the CI sweep).
+func TestSwarmClean(t *testing.T) {
+	simcheck.SetArmed(true)
+	defer simcheck.SetArmed(false)
+	n := 6
+	if testing.Short() {
+		n = 3
+	}
+	for i := 0; i < n; i++ {
+		sc := Generate(42, i, true)
+		res := Run(sc)
+		if res.Failed() {
+			t.Errorf("%s\n  violations: %v\n  %s", sc, res.Violations, ReproLine(42, sc))
+		}
+	}
+}
+
+// TestScenarioVariety: the sampler must actually cover the interesting
+// corners (replication, writes, crashes) within a modest prefix of the
+// stream — a sampler that never draws them checks nothing.
+func TestScenarioVariety(t *testing.T) {
+	var replicated, writes, crashes, rejoins int
+	for i := 0; i < 100; i++ {
+		sc := Generate(1, i, true)
+		if sc.Replicas > 1 {
+			replicated++
+		}
+		if sc.WriteFrac > 0 {
+			writes++
+		}
+		if sc.Faults.CrashSet {
+			crashes++
+			if sc.Faults.RejoinSet {
+				rejoins++
+			}
+		}
+	}
+	if replicated < 10 || writes < 10 || crashes < 10 || rejoins < 3 {
+		t.Fatalf("sampler coverage too thin: replicated=%d writes=%d crashes=%d rejoins=%d",
+			replicated, writes, crashes, rejoins)
+	}
+}

@@ -1,0 +1,18 @@
+//go:build simcheckmutate
+
+package simcheck
+
+// MutationBuild marks a build that can deliberately break invariants.
+// Only the mutation-smoke test uses this tag: it flips one named
+// mutation at a time and asserts the matching oracle fires with a
+// deterministic repro line.
+const MutationBuild = true
+
+var activeMutation string
+
+// SetMutation selects which named bug to inject; "" disables all.
+func SetMutation(name string) { activeMutation = name }
+
+// Mut reports whether the named mutation is active. Call sites read it
+// on rarely-taken paths only, so the lookup cost is irrelevant.
+func Mut(name string) bool { return activeMutation == name }

@@ -28,7 +28,12 @@ const (
 	KindDispatch Kind = "dispatch"  // dispatcher core activity
 	KindReclaim  Kind = "reclaim"   // reclaimer activity
 	KindStall    Kind = "mem-stall" // memory node unavailable (fault window)
+	KindFailover Kind = "failover"  // fetch re-routed to a replica node
 )
+
+// TidFailover is the track id for failover-read instants, between the
+// reclaimer lane (2000) and the per-memory-node stall lanes (3000+k).
+const TidFailover = 2500
 
 // event is one Chrome trace "complete" event (ph=X).
 type event struct {
@@ -98,6 +103,30 @@ func (r *Recorder) NameTrack(tid int, name string) {
 		PID: 1, TID: tid, Args: map[string]any{"name": name}})
 }
 
+// Event is an exported view of one recorded trace event, for tests and
+// audits that assert on trace contents without going through JSON.
+type Event struct {
+	Name  string
+	Kind  Kind
+	Phase string // "X" span, "i" instant
+	TS    float64
+	Dur   float64
+	Tid   int
+}
+
+// Events returns a copy of the recorded events in emission order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, len(r.events))
+	for i, e := range r.events {
+		out[i] = Event{Name: e.Name, Kind: Kind(e.Cat), Phase: e.Ph,
+			TS: e.TS, Dur: e.Dur, Tid: e.TID}
+	}
+	return out
+}
+
 // Len reports recorded spans.
 func (r *Recorder) Len() int {
 	if r == nil {
@@ -133,6 +162,8 @@ func (r *Recorder) WriteJSON(w io.Writer, workers, dispatchers int) error {
 	}
 	all = append(all, threadName{Name: "thread_name", Ph: "M",
 		PID: 1, TID: 2000, Args: map[string]any{"name": "reclaimer"}})
+	all = append(all, threadName{Name: "thread_name", Ph: "M",
+		PID: 1, TID: TidFailover, Args: map[string]any{"name": "failover"}})
 	for _, tn := range r.tracks {
 		all = append(all, tn)
 	}

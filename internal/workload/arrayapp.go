@@ -28,6 +28,13 @@ type ArrayApp struct {
 	ReqBytes  int
 	RespBytes int
 
+	// WriteFrac is the fraction of requests that store instead of load
+	// (0 = the paper's read-only microbenchmark). Writes dirty pages, so
+	// a non-zero fraction exercises the write-back and dirty-eviction
+	// machinery under load. Stores are idempotent — they re-write the
+	// seeded value — so the Mismatches oracle stays valid alongside them.
+	WriteFrac float64
+
 	// Mismatches counts responses whose value did not match the seeded
 	// expectation — data-plane corruption, asserted zero by tests.
 	Mismatches stats.Counter
@@ -35,6 +42,10 @@ type ArrayApp struct {
 
 // ArrayGet is the request payload.
 type ArrayGet struct{ Index int64 }
+
+// ArrayPut is the write-request payload: store the seeded value back at
+// the index (idempotent, so reads stay verifiable).
+type ArrayPut struct{ Index int64 }
 
 // ArrayVal is the response payload.
 type ArrayVal struct{ Value uint64 }
@@ -86,14 +97,29 @@ func (a *ArrayApp) WarmCache() {
 // Name implements App.
 func (a *ArrayApp) Name() string { return "array-indirection" }
 
-// NextRequest implements App: a uniformly random index.
+// NextRequest implements App: a uniformly random index, read or (with
+// probability WriteFrac) written. The write draw is only taken when
+// WriteFrac > 0, so read-only runs consume the identical RNG stream as
+// builds without the write path — goldens stay byte-for-byte.
 func (a *ArrayApp) NextRequest(rng *sim.RNG) (any, int) {
-	return ArrayGet{Index: rng.Int63n(a.entries)}, a.ReqBytes
+	idx := rng.Int63n(a.entries)
+	if a.WriteFrac > 0 && rng.Bool(a.WriteFrac) {
+		return ArrayPut{Index: idx}, a.ReqBytes
+	}
+	return ArrayGet{Index: idx}, a.ReqBytes
 }
 
 // Handler implements App.
 func (a *ArrayApp) Handler() Handler {
 	return func(ctx Ctx, payload any) (any, int) {
+		if put, ok := payload.(ArrayPut); ok {
+			ctx.Compute(a.ParseCost)
+			ctx.Probe()
+			v := arraySeed(put.Index)
+			a.space.StoreU64(ctx, put.Index*8, v)
+			ctx.Compute(a.ReplyCost)
+			return ArrayVal{Value: v}, a.RespBytes
+		}
 		req := payload.(ArrayGet)
 		ctx.Compute(a.ParseCost)
 		ctx.Probe()
