@@ -119,7 +119,7 @@ func main() {
 	if w, ok := app.(interface{ WarmCache() }); ok {
 		w.WarmCache()
 	}
-	sys.Start(app.Handler())
+	sys.StartApp(app)
 	var rec *trace.Recorder
 	if *traceOut != "" {
 		rec = trace.New(0)

@@ -22,7 +22,7 @@ func main() {
 	// system starts serving their handler.
 	app := workload.NewArrayApp(sys.Mgr, sys.Node, arrayBytes)
 	app.WarmCache()
-	sys.Start(app.Handler())
+	sys.StartApp(app)
 
 	// Drive it with an open-loop Poisson load and measure.
 	res := sys.Run(app, 1_300_000, sim.Millis(10), sim.Millis(50))

@@ -213,7 +213,7 @@ func buildPreset(localFrac float64, mut mutator,
 		}
 		sys := core.NewSystem(cfg)
 		app := mkApp(sys)
-		sys.Start(app.Handler())
+		sys.StartApp(app)
 		return sys, app
 	}
 }

@@ -254,7 +254,29 @@ func NewSystem(cfg Config) *System {
 // Start launches the scheduler (dispatcher + workers) for the given
 // handler and the pinned reclaimer thread.
 func (sys *System) Start(handler workload.Handler) {
+	sys.startWith(handler, nil)
+}
+
+// StartApp launches the scheduler for app. When the app provides a
+// resumable-step handler (workload.StepApp) the scheduler runs requests
+// on the flat unithread tier wherever the configuration qualifies
+// (yield wait, no preemption) — the identical simulated schedule with
+// no per-request goroutine. Apps without a step handler, and
+// non-qualifying configurations, run on the goroutine tier exactly as
+// via Start.
+func (sys *System) StartApp(app workload.App) {
+	var stepH workload.StepHandler
+	if sa, ok := app.(workload.StepApp); ok {
+		stepH = sa.StepHandler()
+	}
+	sys.startWith(app.Handler(), stepH)
+}
+
+func (sys *System) startWith(handler workload.Handler, stepH workload.StepHandler) {
 	sys.Sched = sched.New(sys.Env, sys.Cfg.Sched, sys.Net, sys.Fabric, sys.Mgr, sys.Pool, handler)
+	if stepH != nil {
+		sys.Sched.SetStepHandler(stepH)
+	}
 	sys.Sched.Start()
 	rcq := rdma.NewCQ("reclaimer")
 	rqps := sys.Fabric.CreateQPs("reclaimer", rcq)

@@ -16,7 +16,7 @@ func buildMicro(mode Mode, arrayBytes int64, localFrac float64, seed int64) (*Sy
 	sys := NewSystem(cfg)
 	app := workload.NewArrayApp(sys.Mgr, sys.Node, arrayBytes)
 	app.WarmCache()
-	sys.Start(app.Handler())
+	sys.StartApp(app)
 	return sys, app
 }
 

@@ -19,7 +19,7 @@ func Example() {
 
 	app := workload.NewArrayApp(sys.Mgr, sys.Node, arrayBytes)
 	app.WarmCache()
-	sys.Start(app.Handler())
+	sys.StartApp(app)
 
 	res := sys.Run(app, 400_000, sim.Millis(2), sim.Millis(10))
 	fmt.Printf("served ~all: %v\n", res.TputK > 380)
@@ -44,7 +44,7 @@ func Example_comparison() {
 		sys := core.NewSystem(cfg)
 		app := workload.NewArrayApp(sys.Mgr, sys.Node, arrayBytes)
 		app.WarmCache()
-		sys.Start(app.Handler())
+		sys.StartApp(app)
 		return sys.Run(app, 1_400_000, sim.Millis(5), sim.Millis(25))
 	}
 	dilos := run(core.DiLOS)

@@ -21,7 +21,7 @@ func buildStriped(arrayBytes int64, seed int64, nodes, replicas int,
 	sys := NewSystem(cfg)
 	app := workload.NewArrayApp(sys.Mgr, sys.Mem, arrayBytes)
 	app.WarmCache()
-	sys.Start(app.Handler())
+	sys.StartApp(app)
 	return sys, app
 }
 

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"hash/fnv"
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// flatDiffStats is everything the flat tier must reproduce exactly.
+type flatDiffStats struct {
+	digest    uint64
+	completed int64
+	aborts    int64
+	faults    int64
+	retries   int64
+	cpu       int64
+	p99us     float64
+	events    []trace.Event
+}
+
+func runFlatDiffOnce(t *testing.T, flat bool) flatDiffStats {
+	t.Helper()
+	const arrayBytes = 4 << 20
+	cfg := Preset(Adios, arrayBytes/5)
+	cfg.Seed = 11
+	// Half of all wire posts fail: demand fetches retry up to the
+	// attempt budget and a measurable fraction abort — the simulated
+	// SIGBUS path the flat tier must take identically.
+	plan, err := faults.ParseSpec("wr=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = plan
+	sys := NewSystem(cfg)
+	app := workload.NewArrayApp(sys.Mgr, sys.Node, arrayBytes)
+	app.WarmCache()
+	if flat {
+		sys.StartApp(app)
+		if !sys.Sched.FlatTier() {
+			t.Fatal("Adios config + ArrayApp did not select the flat tier")
+		}
+	} else {
+		sys.Start(app.Handler())
+	}
+	rec := trace.New(0)
+	sys.Sched.Trace = rec
+
+	var st flatDiffStats
+	sys.Sched.OnComplete = func(req *sched.Request) {
+		f := fnv.New64a()
+		var b [8]byte
+		put := func(v uint64) {
+			for i := range b {
+				b[i] = byte(v >> (8 * i))
+			}
+			f.Write(b[:])
+		}
+		put(st.digest)
+		put(req.Pkt.ID)
+		put(uint64(req.Started))
+		put(uint64(req.Finished))
+		put(uint64(req.RDMAWait))
+		put(uint64(req.CPU))
+		put(uint64(req.Faults))
+		if req.Failed {
+			put(1)
+		}
+		st.digest = f.Sum64()
+	}
+
+	res := sys.Run(app, 400_000, sim.Millis(1), sim.Millis(6))
+	st.completed = res.Completed
+	st.aborts = res.Aborts
+	st.faults = res.Faults
+	st.retries = res.Retries
+	st.cpu = sys.Sched.CPUCycles()
+	st.p99us = res.P99us
+	st.events = rec.Events()
+	return st
+}
+
+// The abort-path differential: under heavy wire-error injection the
+// flat tier must reproduce the goroutine tier's run exactly — including
+// the fetch-abort (simulated SIGBUS) handling, per-request digests, and
+// the full scheduler trace.
+func TestFlatTierDifferentialWithAborts(t *testing.T) {
+	ref := runFlatDiffOnce(t, false)
+	flat := runFlatDiffOnce(t, true)
+	if ref.aborts == 0 {
+		t.Fatalf("fault plan produced no aborts; differential does not cover the abort path: %+v", ref)
+	}
+	refEvents, flatEvents := ref.events, flat.events
+	ref.events, flat.events = nil, nil
+	if !reflect.DeepEqual(flat, ref) {
+		t.Fatalf("flat tier diverged under fault injection:\n flat %+v\n  ref %+v", flat, ref)
+	}
+	if !reflect.DeepEqual(flatEvents, refEvents) {
+		for i := range refEvents {
+			if i >= len(flatEvents) || flatEvents[i] != refEvents[i] {
+				t.Fatalf("trace diverged at event %d:\n flat %+v\n  ref %+v",
+					i, flatEvents[i], refEvents[i])
+			}
+		}
+		t.Fatalf("trace lengths differ: flat %d, ref %d", len(flatEvents), len(refEvents))
+	}
+}

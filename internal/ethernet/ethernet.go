@@ -228,13 +228,33 @@ func (n *Net) PollRx(max int) []*Packet {
 	// Copy out: the dispatcher blocks (charging poll CPU) before
 	// consuming, and concurrent arrivals must not clobber its batch.
 	out := make([]*Packet, have)
-	copy(out, n.rx[n.rxHead:n.rxHead+have])
+	n.pollRxInto(out, have)
+	return out
+}
+
+// PollRxInto removes up to len(dst) packets from the RX ring into dst
+// and returns the count. Same copy-out contract as PollRx; dst is
+// caller-owned scratch, so the dispatcher's steady-state poll loop is
+// allocation-free (dst[:n] must be consumed before the next call).
+func (n *Net) PollRxInto(dst []*Packet) int {
+	have := n.rxLen()
+	if have == 0 {
+		return 0
+	}
+	if have > len(dst) {
+		have = len(dst)
+	}
+	n.pollRxInto(dst, have)
+	return have
+}
+
+func (n *Net) pollRxInto(dst []*Packet, have int) {
+	copy(dst, n.rx[n.rxHead:n.rxHead+have])
 	n.rxHead += have
 	if n.rxHead == len(n.rx) {
 		n.rx = n.rx[:0]
 		n.rxHead = 0
 	}
-	return out
 }
 
 // TxQueue is a per-worker raw-Ethernet send queue. Its completions are

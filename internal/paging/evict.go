@@ -97,11 +97,12 @@ func (m *Manager) selectVictims(max int) []int32 {
 
 // lruSelect takes victims from the cold end of the LRU list.
 func (m *Manager) lruSelect(max int) []int32 {
-	var out []int32
+	out := m.victimBuf[:0]
 	for fi := m.lruTail; fi != -1 && len(out) < max; fi = m.lruPrev[fi] {
 		if m.frames[fi].state == frameResident {
 			out = append(out, fi)
 		}
 	}
+	m.victimBuf = out
 	return out
 }

@@ -74,6 +74,12 @@ type Fetch struct {
 	node  int
 	tried uint64
 
+	// src is the region view the last fetch post reads (PostReadAlias
+	// elides the completion-time copy); the install step aliases the
+	// frame to it. Reposts overwrite it, so it always names the copy the
+	// delivered completion actually moved.
+	src []byte
+
 	// Write-back fan-out state (zero unless the page is replicated):
 	// pending is the bitmask of owner nodes still owed a durable ack,
 	// acked the nodes that delivered one. A fan-out write-back is
@@ -113,6 +119,7 @@ func (m *Manager) recycleFetch(f *Fetch) {
 	f.waiters = f.waiters[:0]
 	f.Space = nil
 	f.qp = nil
+	f.src = nil
 	m.freeFetches = append(m.freeFetches, f)
 }
 
@@ -200,9 +207,9 @@ func (m *Manager) startFetch(t Thread, f *Fetch) {
 	f.qp = qp
 	f.node = node
 	f.tried = 1 << uint(node)
+	f.src = s.region.SliceFor(vpn*PageSize, PageSize, node, qp.Name())
 	for {
-		err := qp.PostRead(fr.data, s.region.SliceFor(vpn*PageSize, PageSize, node, qp.Name()), f)
-		if err == nil {
+		if err := qp.PostReadAlias(f.src, f); err == nil {
 			return
 		}
 		qp.WaitSlot(t.Proc())
@@ -273,7 +280,8 @@ func (m *Manager) issueAsync(t Thread, s *Space, vpn int64) bool {
 	e.fetch = f
 	frm := &m.frames[fr]
 	frm.space, frm.vpn, frm.state = s.id, vpn, frameFilling
-	if err := qp.PostRead(frm.data, s.region.SliceFor(vpn*PageSize, PageSize, node, qp.Name()), f); err != nil {
+	f.src = s.region.SliceFor(vpn*PageSize, PageSize, node, qp.Name())
+	if err := qp.PostReadAlias(f.src, f); err != nil {
 		// QP filled up between the check and the post; undo.
 		e.state, e.fetch = pageAbsent, nil
 		m.freeFrame(fr)
@@ -400,7 +408,11 @@ func (m *Manager) CompleteOn(f *Fetch, cerr error, qp *rdma.QP) bool {
 		e.frame = f.frame
 		e.fetch = nil
 		e.ref = true
-		m.frames[f.frame].state = frameResident
+		fr := &m.frames[f.frame]
+		fr.state = frameResident
+		// Zero-copy install: the clean page aliases the region view the
+		// READ moved; the first store materializes a private copy.
+		fr.data = f.src
 		m.installed(f.frame)
 	}
 	if f.firstFailAt >= 0 {
@@ -679,7 +691,8 @@ func (m *Manager) repost(f *Fetch) {
 	if f.writeback {
 		err = qp.PostWrite(remote, m.frames[f.frame].data, f)
 	} else {
-		err = qp.PostRead(m.frames[f.frame].data, remote, f)
+		f.src = remote
+		err = qp.PostReadAlias(remote, f)
 	}
 	if err != nil {
 		m.env.After(m.cfg.RetryBackoff, func() { m.repost(f) })

@@ -69,6 +69,12 @@ func (m *Manager) CheckInvariants() error {
 						With("frame", e.frame).With("frameState", f.state).
 						With("frameSpace", f.space).With("frameVPN", f.vpn)
 				}
+				if e.dirty && f.aliased() {
+					return simcheck.New("paging/dirty-aliased",
+						"dirty page's frame still aliases the backing region: "+
+							"a store went through without materializing").
+						With("space", s.name).With("page", vpn).With("frame", e.frame)
+				}
 				if prev, dup := owner[e.frame]; dup {
 					return simcheck.New("paging/frame-shared",
 						"frame mapped by two pages").

@@ -73,12 +73,38 @@ type pte struct {
 	fetch *Fetch // in-flight fetch or write-back record, if any
 }
 
-// frame is a local DRAM cache frame.
+// frame is a local DRAM cache frame. data is the frame's current page
+// view: normally its own arena buffer (buf), but a page installed by the
+// zero-copy fetch path aliases the backing region until the first store
+// materializes a private copy (see Manager.materialize). Aliasing is
+// sound because the aliased bytes are clean — frame and region hold the
+// same page by definition — and region memory is never mutated under a
+// resident page: stores materialize first, write-backs only move
+// already-materialized dirty frames, and WriteDirect refuses resident
+// pages.
 type frame struct {
 	data  []byte
-	space int32 // owning space, -1 if free
+	buf   []byte // the frame's own arena slice, PageSize bytes
+	space int32  // owning space, -1 if free
 	vpn   int64
 	state uint8
+}
+
+// aliased reports whether the frame's view points at the backing region
+// rather than its own arena buffer (a clean zero-copy install).
+func (f *frame) aliased() bool { return &f.data[0] != &f.buf[0] }
+
+// materialize gives a frame a private copy of its page before the first
+// write. A clean zero-copy install aliases the remote region, and the
+// region must keep holding the clean bytes once the local copy diverges
+// (the write-back protocol assumes the backing store lags the dirty
+// frame, never the reverse).
+func (m *Manager) materialize(fi int32) {
+	f := &m.frames[fi]
+	if f.aliased() {
+		copy(f.buf, f.data)
+		f.data = f.buf
+	}
 }
 
 // Config holds the paging cost model and policy knobs.
@@ -167,6 +193,13 @@ type Manager struct {
 	frameWaiters []*sim.Proc
 	reclaimGate  *sim.Gate
 
+	// victimBuf/pickedBuf are victim-selection scratch, reused across
+	// reclaim rounds (only the reclaimer selects, and it consumes the
+	// previous batch before selecting again) so steady-state eviction
+	// is allocation-free.
+	victimBuf []int32
+	pickedBuf map[int32]bool
+
 	// freeBits mirrors free-list membership per frame for the
 	// double-free oracle. nil unless the checker was on when the
 	// manager was built (simcheck.On()); purely observational.
@@ -235,7 +268,8 @@ func NewManager(env *sim.Env, cfg Config) *Manager {
 		reclaimGate: sim.NewGate(env),
 	}
 	for i := int64(0); i < n; i++ {
-		m.frames[i] = frame{data: m.arena[i*PageSize : (i+1)*PageSize], space: -1}
+		buf := m.arena[i*PageSize : (i+1)*PageSize]
+		m.frames[i] = frame{data: buf, buf: buf, space: -1}
 		m.free = append(m.free, int32(i))
 	}
 	if simcheck.On() {
@@ -399,6 +433,7 @@ func (m *Manager) freeFrame(idx int32) {
 	}
 	f := &m.frames[idx]
 	f.space, f.vpn, f.state = -1, 0, frameFree
+	f.data = f.buf // drop any zero-copy alias with the frame's last page
 	m.free = append(m.free, idx)
 	if m.freeBits != nil {
 		m.freeBits[idx] = true

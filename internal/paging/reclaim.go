@@ -60,6 +60,8 @@ type reclaimer struct {
 	vi        int   // index of the victim the next rsVictim firing processes
 	inflight  int   // write-backs posted but not yet durable
 	pendFrame int32 // frame of the post blocked on a QP slot (rsSlot)
+
+	cqBuf [64]rdma.Completion // completion-poll scratch (allocation-free)
 }
 
 const (
@@ -206,15 +208,15 @@ func (r *reclaimer) advanceVictim() {
 // when the bytes are safely remote.
 func (r *reclaimer) await() {
 	for r.inflight > 0 {
-		cs := r.cq.Poll(64)
-		if len(cs) == 0 {
+		n := r.cq.PollInto(r.cqBuf[:])
+		if n == 0 {
 			if r.cqGate.Arm(r.t) {
 				continue
 			}
 			r.state = rsCQ
 			return
 		}
-		for _, c := range cs {
+		for _, c := range r.cqBuf[:n] {
 			if r.m.CompleteOn(c.Cookie.(*Fetch), c.Err, c.QP) {
 				r.inflight--
 			}
@@ -238,8 +240,12 @@ func (m *Manager) needReclaim() bool {
 // reference bits and collecting up to max resident, unreferenced victim
 // frames. At most two full sweeps are made.
 func (m *Manager) clockSelect(max int) []int32 {
-	var out []int32
-	picked := make(map[int32]bool, max)
+	out := m.victimBuf[:0]
+	if m.pickedBuf == nil {
+		m.pickedBuf = make(map[int32]bool, max)
+	}
+	picked := m.pickedBuf
+	clear(picked)
 	n := len(m.frames)
 	for scanned := 0; scanned < 2*n && len(out) < max; scanned++ {
 		i := int32(m.clockHand)
@@ -256,5 +262,6 @@ func (m *Manager) clockSelect(max int) []int32 {
 		picked[i] = true
 		out = append(out, i)
 	}
+	m.victimBuf = out
 	return out
 }

@@ -23,6 +23,18 @@ func (s *Space) ensure(t Thread, vpn int64) []byte {
 	return s.mgr.frames[e.frame].data
 }
 
+// ensureMut is ensure for a store: the page is marked dirty and its
+// frame materialized (a clean zero-copy install aliases the backing
+// region, which must keep holding the clean bytes once the local copy
+// diverges) before the caller writes through the returned view.
+func (s *Space) ensureMut(t Thread, vpn int64) []byte {
+	s.ensure(t, vpn)
+	e := &s.ptes[vpn]
+	e.dirty = true
+	s.mgr.materialize(e.frame)
+	return s.mgr.frames[e.frame].data
+}
+
 // Load copies len(buf) bytes at offset off into buf, faulting pages in as
 // needed. Accesses may span page boundaries.
 func (s *Space) Load(t Thread, off int64, buf []byte) {
@@ -50,9 +62,8 @@ func (s *Space) Store(t Thread, off int64, data []byte) {
 		if int64(len(data)) < n {
 			n = int64(len(data))
 		}
-		page := s.ensure(t, vpn)
+		page := s.ensureMut(t, vpn)
 		copy(page[po:po+n], data[:n])
-		s.ptes[vpn].dirty = true
 		data = data[n:]
 		off += n
 	}
@@ -97,6 +108,45 @@ func (s *Space) StoreU32(t Thread, off int64, v uint32) {
 	binary.LittleEndian.PutUint32(b[:], v)
 	s.Store(t, off, b[:])
 }
+
+// TryPage is the non-blocking residency probe behind the scheduler's
+// flat unithread tier: if vpn is resident it returns the frame bytes,
+// otherwise (nil, false) and the caller drives the fault itself through
+// Manager.RequestPage. Counter parity with ensure is exact: a first
+// access (retry=false) that hits takes ensure's present path — touch,
+// Leap history, Hits — while the re-probe after a fault (retry=true)
+// takes ensure's post-WaitPage exit, which touches only. A retry that
+// misses means the page was reclaimed inside the map-cost window; the
+// caller refaults from scratch, as ensure's loop does.
+func (s *Space) TryPage(vpn int64, retry bool) ([]byte, bool) {
+	e := &s.ptes[vpn]
+	if e.state != pagePresent {
+		return nil, false
+	}
+	s.mgr.touch(e)
+	if !retry {
+		s.mgr.leapRecord(s, vpn)
+		s.mgr.Hits.Inc()
+	}
+	return s.mgr.frames[e.frame].data, true
+}
+
+// DirtyPage marks a resident page dirty (write-allocate, write-back)
+// and returns its frame bytes — the store half of a TryPage-based
+// access. Callers must write through the returned view, not a slice
+// from an earlier TryPage: materializing a zero-copy alias moves the
+// frame's bytes, and writes must land in the private copy, never the
+// backing region.
+func (s *Space) DirtyPage(vpn int64) []byte {
+	e := &s.ptes[vpn]
+	e.dirty = true
+	s.mgr.materialize(e.frame)
+	return s.mgr.frames[e.frame].data
+}
+
+// MarkDirty is DirtyPage for callers that already hold a stable view
+// (i.e. wrote via Store, which materializes first).
+func (s *Space) MarkDirty(vpn int64) { s.DirtyPage(vpn) }
 
 // Preload makes the byte range [off, off+n) resident without going
 // through a thread's wait policy or the RDMA fabric; it is a setup-time

@@ -190,16 +190,32 @@ func (cq *CQ) Poll(max int) []Completion {
 	if n > max {
 		n = max
 	}
-	// Copy out: callers may block (charging poll CPU) before consuming,
-	// and new completions must not clobber what they were handed.
 	out := make([]Completion, n)
-	copy(out, cq.entries[cq.head:cq.head+n])
+	cq.PollInto(out)
+	return out
+}
+
+// PollInto removes up to len(dst) completions into dst and returns the
+// count. Completions are copied out: callers may block (charging poll
+// CPU) before consuming, and new arrivals must not clobber what they
+// were handed. dst is caller-owned scratch — steady-state polling loops
+// reuse one buffer and stay allocation-free, consuming dst[:n] before
+// the next PollInto on the same buffer.
+func (cq *CQ) PollInto(dst []Completion) int {
+	n := cq.Len()
+	if n == 0 {
+		return 0
+	}
+	if n > len(dst) {
+		n = len(dst)
+	}
+	copy(dst, cq.entries[cq.head:cq.head+n])
 	cq.head += n
 	if cq.head == len(cq.entries) {
 		cq.entries = cq.entries[:0]
 		cq.head = 0
 	}
-	return out
+	return n
 }
 
 // Inject delivers an externally produced completion into the CQ. The raw
@@ -453,6 +469,21 @@ func (qp *QP) PostRead(dst, src []byte, cookie any) error {
 	if len(dst) != len(src) {
 		return fmt.Errorf("rdma: read length mismatch: dst %d, src %d", len(dst), len(src))
 	}
+	return qp.postRead(dst, src, cookie)
+}
+
+// PostReadAlias posts a one-sided READ of len(src) bytes that elides the
+// completion-time copy: the caller keeps src (its view of the registered
+// remote region) and aliases or copies from it once the completion is
+// delivered. Timing, ordering, failure behaviour, and traffic accounting
+// are identical to PostRead with a same-length dst — only the memmove is
+// skipped — so callers may switch between the variants without
+// perturbing the schedule.
+func (qp *QP) PostReadAlias(src []byte, cookie any) error {
+	return qp.postRead(nil, src, cookie)
+}
+
+func (qp *QP) postRead(dst, src []byte, cookie any) error {
 	if qp.errored {
 		return ErrQPError
 	}
@@ -463,7 +494,7 @@ func (qp *QP) PostRead(dst, src []byte, cookie any) error {
 	if simcheck.On() {
 		qp.checkDepth()
 	}
-	n := len(dst)
+	n := len(src)
 	cfg := &qp.nic.cfg
 	env := qp.nic.env
 

@@ -1,0 +1,213 @@
+package sched
+
+import (
+	"hash/fnv"
+	"reflect"
+	"testing"
+
+	"repro/internal/ethernet"
+	"repro/internal/memnode"
+	"repro/internal/paging"
+	"repro/internal/rdma"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/unithread"
+	"repro/internal/workload"
+)
+
+// arrayRig wires a scheduler around a real ArrayApp so the flat tier
+// (step handler) and the goroutine tier (plain handler) can be run on
+// identical inputs.
+type arrayRig struct {
+	env   *sim.Env
+	net   *ethernet.Net
+	mgr   *paging.Manager
+	sched *Scheduler
+	app   *workload.ArrayApp
+	rec   *trace.Recorder
+}
+
+func newArrayRig(t *testing.T, cfg Config, flatTier bool, localPages int64) *arrayRig {
+	t.Helper()
+	env := sim.NewEnv(5)
+	r := &arrayRig{
+		env: env,
+		net: ethernet.New(env, ethernet.DefaultConfig()),
+		mgr: paging.NewManager(env, paging.DefaultConfig(localPages*paging.PageSize)),
+		rec: trace.New(0),
+	}
+	nic := rdma.NewNIC(env, rdma.DefaultConfig())
+	node := memnode.New(1 << 30)
+	r.app = workload.NewArrayApp(r.mgr, node, 256*paging.PageSize)
+	r.app.WriteFrac = 0.25
+	r.sched = New(env, cfg, r.net, rdma.Fabric{nic}, r.mgr, unithread.NewPool(4096, 4096), r.app.Handler())
+	if flatTier {
+		r.sched.SetStepHandler(r.app.StepHandler())
+		if !r.sched.FlatTier() {
+			t.Fatalf("config %+v did not qualify for the flat tier", cfg)
+		}
+	}
+	r.sched.Trace = r.rec
+	r.sched.Start()
+	rcq := rdma.NewCQ("reclaim")
+	r.mgr.StartReclaimer(nic.CreateQP("reclaim", rcq), rcq)
+	return r
+}
+
+// digest folds one completed request into an order-sensitive hash.
+func digestReq(h *uint64, req *Request) {
+	f := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		f.Write(b[:])
+	}
+	put(*h)
+	put(req.Pkt.ID)
+	put(uint64(req.Started))
+	put(uint64(req.Finished))
+	put(uint64(req.QueueWait))
+	put(uint64(req.RDMAWait))
+	put(uint64(req.BusyWait))
+	put(uint64(req.CPU))
+	put(uint64(req.Faults))
+	if req.Failed {
+		put(1)
+	}
+	*h = f.Sum64()
+}
+
+type flatRunStats struct {
+	digest    uint64
+	completed int64
+	cpu       int64
+	busyWait  int64
+	hits      int64
+	faults    int64
+	fetchWait int64
+	evictions int64
+	dirtyWB   int64
+	steals    int64
+	events    []trace.Event
+}
+
+func runTier(t *testing.T, cfg Config, flatTier bool) flatRunStats {
+	t.Helper()
+	r := newArrayRig(t, cfg, flatTier, 48)
+	var st flatRunStats
+	r.sched.OnComplete = func(req *Request) { digestReq(&st.digest, req) }
+
+	// Deterministic request mix, identical across tiers: indices spread
+	// over all pages, every fourth request a write.
+	entries := int64(256 * paging.PageSize / 8)
+	at := sim.Time(1)
+	for i := 0; i < 600; i++ {
+		idx := (int64(i) * 7919) % entries
+		var payload any = workload.ArrayGet{Index: idx}
+		if i%4 == 1 {
+			payload = workload.ArrayPut{Index: idx}
+		}
+		id, p := uint64(i), payload
+		r.env.At(at, func() {
+			r.net.SendToNode(&ethernet.Packet{ID: id, Payload: p, Size: 64, TxTime: r.env.Now()})
+		})
+		at += sim.Micros(1)
+	}
+	r.env.Run(sim.Millis(30))
+
+	st.completed = r.sched.Completed.Value()
+	st.cpu = r.sched.CPUCycles()
+	st.busyWait = r.sched.BusyWaitCycles()
+	st.hits = r.mgr.Hits.Value()
+	st.faults = r.mgr.Faults.Value()
+	st.fetchWait = r.mgr.FetchWaits.Value()
+	st.evictions = r.mgr.Evictions.Value()
+	st.dirtyWB = r.mgr.DirtyWritebacks.Value()
+	st.steals = r.sched.Steals.Value()
+	st.events = r.rec.Events()
+	return st
+}
+
+// The differential determinism test of the flat tier: the same workload
+// on the goroutine reference and on the flat tier must produce the
+// identical schedule — per-request timings (order-sensitive digest),
+// every scheduler and paging counter, and the full trace event sequence.
+func TestFlatTierMatchesGoroutineTier(t *testing.T) {
+	adios := DefaultConfig()
+
+	syncTx := DefaultConfig() // Infiniswap-shaped: kernel costs, jitter, sync TX
+	syncTx.Dispatch = RoundRobin
+	syncTx.Tx = SyncTx
+	syncTx.Costs.KernelNetExtra = 2600
+	syncTx.Costs.KernelFaultExtra = 1800
+	syncTx.Costs.JitterProb = 0.0025
+	syncTx.Costs.JitterMean = 4000
+
+	stealing := DefaultConfig()
+	stealing.Dispatch = WorkStealing
+
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"adios", adios},
+		{"synctx-jitter", syncTx},
+		{"stealing", stealing},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := runTier(t, tc.cfg, false)
+			flat := runTier(t, tc.cfg, true)
+			if ref.completed != 600 {
+				t.Fatalf("reference completed %d of 600", ref.completed)
+			}
+			if ref.faults == 0 || ref.evictions == 0 || ref.dirtyWB == 0 {
+				t.Fatalf("workload too tame to differentiate tiers: %+v", ref)
+			}
+			flatEvents, refEvents := flat.events, ref.events
+			flat.events, ref.events = nil, nil
+			if !reflect.DeepEqual(flat, ref) {
+				t.Fatalf("flat tier diverged:\n flat %+v\n  ref %+v", flat, ref)
+			}
+			if !reflect.DeepEqual(flatEvents, refEvents) {
+				for i := range refEvents {
+					if i >= len(flatEvents) || flatEvents[i] != refEvents[i] {
+						t.Fatalf("trace diverged at event %d:\n flat %+v\n  ref %+v",
+							i, flatEvents[i], refEvents[i])
+					}
+				}
+				t.Fatalf("trace lengths differ: flat %d, ref %d", len(flatEvents), len(refEvents))
+			}
+		})
+	}
+}
+
+// Non-qualifying configurations must decline the flat tier even when a
+// step handler is offered.
+func TestFlatTierEligibility(t *testing.T) {
+	env := sim.NewEnv(1)
+	mk := func(cfg Config) *Scheduler {
+		net := ethernet.New(env, ethernet.DefaultConfig())
+		nic := rdma.NewNIC(env, rdma.DefaultConfig())
+		mgr := paging.NewManager(env, paging.DefaultConfig(16*paging.PageSize))
+		node := memnode.New(1 << 24)
+		app := workload.NewArrayApp(mgr, node, 4*paging.PageSize)
+		s := New(env, cfg, net, rdma.Fabric{nic}, mgr, unithread.NewPool(64, 4096), app.Handler())
+		s.SetStepHandler(app.StepHandler())
+		return s
+	}
+	busy := DefaultConfig()
+	busy.Wait = BusyWait
+	if mk(busy).FlatTier() {
+		t.Fatal("busy-wait config must keep the goroutine tier")
+	}
+	preempt := DefaultConfig()
+	preempt.Preempt = true
+	if mk(preempt).FlatTier() {
+		t.Fatal("preemptive config must keep the goroutine tier")
+	}
+	if !mk(DefaultConfig()).FlatTier() {
+		t.Fatal("yield non-preemptive config must take the flat tier")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package sched
+
+// raceEnabled reports whether the race detector is compiled in; the
+// zero-alloc guard skips under it (instrumented allocation breaks the
+// accounting — see race_on.go).
+const raceEnabled = false

@@ -31,6 +31,15 @@ type Scheduler struct {
 	dispatchers []*dispatcher
 	workers     []*Worker
 
+	// stepH and flat select the flat unithread tier: set via
+	// SetStepHandler when the app can express its handler as resumable
+	// steps AND the configuration qualifies (yield wait, no preemption —
+	// the no-switch hot path the tier exists to flatten). Busy-wait and
+	// preemptive configurations keep the goroutine tier, whose blocking
+	// and quantum semantics genuinely need a stackful context.
+	stepH workload.StepHandler
+	flat  bool
+
 	// Completed counts finished requests; OnComplete (if set) receives
 	// each finished request record for measurement.
 	Completed  stats.Counter
@@ -72,9 +81,23 @@ type Scheduler struct {
 	// finishes, but under delegated TX the dispatcher still holds it
 	// until the TX completion releases the buffer — whichever party acts
 	// last recycles (Request.retired marks the first half done).
-	freeReqs []*Request
-	freeUts  []*Unithread
+	freeReqs  []*Request
+	freeUts   []*Unithread
+	freeFlats []*flatUnithread
 }
+
+// SetStepHandler offers the scheduler a resumable-step form of the
+// handler. When the configuration qualifies (yield wait, no preemption),
+// requests run on the flat unithread tier: inline on the worker's own
+// process with no per-request goroutine — the same simulated schedule,
+// bit for bit, at a fraction of the wall-clock cost. Call before Start.
+func (s *Scheduler) SetStepHandler(h workload.StepHandler) {
+	s.stepH = h
+	s.flat = h != nil && s.cfg.Wait == Yield && !s.cfg.Preempt
+}
+
+// FlatTier reports whether requests execute on the flat unithread tier.
+func (s *Scheduler) FlatTier() bool { return s.flat }
 
 // newRequest takes a Request from the free list (or allocates one) and
 // initializes it for an arriving packet.
@@ -138,6 +161,9 @@ type dispatcher struct {
 	txCQ    *rdma.CQ
 	workers []*Worker
 	rr      int
+
+	txBuf [64]rdma.Completion  // TX completion-poll scratch (allocation-free)
+	rxBuf [64]*ethernet.Packet // RX poll scratch (allocation-free)
 }
 
 // New wires a scheduler. fab carries one NIC per memory node; each
@@ -260,13 +286,12 @@ func (d *dispatcher) loop(p *sim.Proc) {
 	for {
 		progress := false
 
-		if pkts := s.net.PollRx(64); len(pkts) > 0 {
+		if np := s.net.PollRxInto(d.rxBuf[:]); np > 0 {
 			progress = true
 			t0 := p.Now()
-			d.charge(p, c.RxPollBatch+c.RxPerPacket*sim.Time(len(pkts)))
-			s.Trace.Span(trace.KindDispatch, 1000+d.id, "rx-poll", t0, p.Now(),
-				map[string]any{"packets": len(pkts)})
-			for _, pkt := range pkts {
+			d.charge(p, c.RxPollBatch+c.RxPerPacket*sim.Time(np))
+			s.Trace.PollSpan(1000+d.id, np, t0, p.Now())
+			for _, pkt := range d.rxBuf[:np] {
 				if s.Admit != nil && !s.Admit(pkt) {
 					continue
 				}
@@ -283,10 +308,10 @@ func (d *dispatcher) loop(p *sim.Proc) {
 			}
 		}
 
-		if cs := d.txCQ.Poll(64); len(cs) > 0 {
+		if n := d.txCQ.PollInto(d.txBuf[:]); n > 0 {
 			progress = true
-			d.charge(p, c.TxCompletion*sim.Time(len(cs)))
-			for _, comp := range cs {
+			d.charge(p, c.TxCompletion*sim.Time(n))
+			for _, comp := range d.txBuf[:n] {
 				pkt := comp.Cookie.(*ethernet.Packet)
 				req := pkt.Ctx.(*Request)
 				pkt.Ctx = nil
@@ -308,7 +333,7 @@ func (d *dispatcher) loop(p *sim.Proc) {
 			progress = true
 			item, _ := s.central.TryPop()
 			d.charge(p, c.Dispatch)
-			w.inbox = append(w.inbox, item)
+			w.inbox.PushBack(item)
 			w.idle = false
 			w.idleGate.Wake()
 		}

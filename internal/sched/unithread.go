@@ -190,7 +190,7 @@ func (u *Unithread) sendResponse(resp any, respBytes int) {
 	// Busy-wait for the TX completion.
 	start := u.proc.Now()
 	for {
-		if cs := w.txCQ.Poll(4); len(cs) > 0 {
+		if w.txCQ.PollInto(w.txBuf[:]) > 0 {
 			break
 		}
 		w.txGate.Wait(u.proc)
@@ -326,8 +326,8 @@ func (u *Unithread) WaitPage(sp *paging.Space, vpn int64) {
 			}
 			demand = false
 			for !fired && !sp.Resident(vpn) {
-				if cs := w.cq.Poll(16); len(cs) > 0 {
-					for _, comp := range cs {
+				if n := w.cq.PollInto(w.cqBuf[:16]); n > 0 {
+					for _, comp := range w.cqBuf[:n] {
 						s.mgr.CompleteOn(comp.Cookie.(*paging.Fetch), comp.Err, comp.QP)
 					}
 					continue
@@ -360,7 +360,7 @@ func (u *Unithread) onReady(err error) {
 // of Figure 5).
 func (u *Unithread) markReady() {
 	w := u.worker
-	w.ready = append(w.ready, u)
+	w.ready.PushBack(readyItem{u: u})
 	if w.idle {
 		w.idleGate.Wake()
 	}

@@ -1,14 +1,20 @@
 package sched
 
 import (
-	"fmt"
-
 	"repro/internal/ethernet"
 	"repro/internal/paging"
 	"repro/internal/rdma"
 	"repro/internal/sim"
-	"repro/internal/trace"
 )
+
+// readyItem is one entry on a worker's ready ring: a fetch-completed
+// unithread awaiting its core, from whichever tier. A configuration runs
+// all requests on one tier, so the two pointers never mix within a run;
+// FIFO order across the ring is the resume order either way.
+type readyItem struct {
+	u    *Unithread
+	flat *flatUnithread
+}
 
 // Worker is one request-processing core. It owns a page-fetch QP (whose
 // depth the PF-aware dispatcher inspects), a fetch CQ, and a TX queue.
@@ -31,10 +37,13 @@ type Worker struct {
 	idleGate *sim.Gate // worker parks here when it has no runnable work
 	cqGate   *sim.Gate // busy-waiting unithreads park here for CQ arrivals
 
-	inbox   []workItem   // assigned by the dispatcher (at most one pending)
-	ready   []*Unithread // fetch-completed unithreads awaiting resume
+	inbox   ring[workItem]  // assigned by the dispatcher (at most one pending)
+	ready   ring[readyItem] // fetch-completed unithreads awaiting resume
 	current *Unithread
 	idle    bool
+
+	cqBuf [32]rdma.Completion // fetch-CQ poll scratch (steady state is allocation-free)
+	txBuf [4]rdma.Completion  // SyncTx completion-poll scratch
 
 	busyCycles int64 // CPU consumed on this core (loop + unithreads)
 }
@@ -75,24 +84,25 @@ func (w *Worker) loop(p *sim.Proc) {
 	s := w.sched
 	for {
 		if s.cfg.Wait == Yield {
-			if cs := w.cq.Poll(32); len(cs) > 0 {
+			if n := w.cq.PollInto(w.cqBuf[:]); n > 0 {
 				w.charge(s.cfg.Costs.CQPoll)
-				for _, c := range cs {
+				for _, c := range w.cqBuf[:n] {
 					s.mgr.CompleteOn(c.Cookie.(*paging.Fetch), c.Err, c.QP)
 				}
 			}
 		}
-		if len(w.ready) > 0 {
-			u := w.ready[0]
-			w.ready = w.ready[:copy(w.ready, w.ready[1:])]
+		if w.ready.Len() > 0 {
+			item := w.ready.PopFront()
 			w.charge(s.cfg.Costs.UnithreadSwitch)
-			w.handoff(u)
+			if item.flat != nil {
+				w.resumeFlat(item.flat)
+			} else {
+				w.handoff(item.u)
+			}
 			continue
 		}
-		if len(w.inbox) > 0 {
-			item := w.inbox[0]
-			w.inbox = w.inbox[:copy(w.inbox, w.inbox[1:])]
-			w.run(item)
+		if w.inbox.Len() > 0 {
+			w.run(w.inbox.PopFront())
 			continue
 		}
 		if s.cfg.Dispatch == WorkStealing {
@@ -130,11 +140,10 @@ func (w *Worker) steal() (workItem, bool) {
 	for j := 1; j < n; j++ {
 		v := s.workers[(w.id+j)%n]
 		w.charge(s.cfg.Costs.StealProbe)
-		if len(v.inbox) == 0 {
+		if v.inbox.Len() == 0 {
 			continue
 		}
-		item := v.inbox[len(v.inbox)-1]
-		v.inbox = v.inbox[:len(v.inbox)-1]
+		item := v.inbox.PopBack()
 		w.charge(s.cfg.Costs.StealTransfer)
 		s.Steals.Inc()
 		return item, true
@@ -142,9 +151,15 @@ func (w *Worker) steal() (workItem, bool) {
 	return workItem{}, false
 }
 
-// startRequest spawns a unithread for a new request and runs it.
+// startRequest spawns a unithread for a new request and runs it — on
+// the flat tier when the app's step handler qualifies, else on a
+// goroutine-backed Unithread.
 func (w *Worker) startRequest(req *Request) {
 	s := w.sched
+	if s.flat {
+		w.startFlat(req)
+		return
+	}
 	now := w.proc.Now()
 	req.Dispatched = now
 	u := s.newUnithread(w, req)
@@ -162,9 +177,8 @@ func (w *Worker) handoff(u *Unithread) {
 	w.runGate.Wait(w.proc)
 	w.current = nil
 	if w.sched.Trace != nil {
-		w.sched.Trace.Span(trace.KindRun, w.id,
-			fmt.Sprintf("req %d", u.req.Pkt.ID), start, w.proc.Now(),
-			map[string]any{"faults": u.req.Faults, "class": u.req.Pkt.Class})
+		w.sched.Trace.RunSpan(w.id, u.req.Pkt.ID, u.req.Pkt.Class, u.req.Faults,
+			start, w.proc.Now())
 	}
 	if u.finished {
 		w.sched.retire(u)

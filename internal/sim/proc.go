@@ -317,6 +317,24 @@ func (p *Proc) Park() { p.park() }
 // The companion of Park for building custom primitives.
 func (e *Env) ScheduleResume(p *Proc, at Time) { e.scheduleResume(p, at) }
 
+// Yield parks the process behind every event already scheduled at the
+// current time: it files its own resumption at now and parks, so pending
+// same-timestamp events dispatch first, in order. With direct handoff, a
+// Yield with nothing else pending returns with zero channel operations —
+// it is the cheapest possible park/resume boundary. The scheduler's flat
+// unithread tier brackets each inline execution segment with Yields to
+// reproduce, one for one, the event-queue boundaries a goroutine-backed
+// unithread's handoff gates would have introduced, which keeps
+// same-timestamp dispatch order bit-identical across the two tiers.
+func (p *Proc) Yield() {
+	e := p.env
+	if e.skipAhead(e.now) {
+		return // nothing pending at this instant: the park is a no-op
+	}
+	e.scheduleResume(p, e.now)
+	p.park()
+}
+
 // Sleep blocks the process for d cycles of simulated time. In the system
 // model, a worker or unithread sleeping represents the CPU core being
 // busy for that long.
@@ -324,8 +342,33 @@ func (p *Proc) Sleep(d Time) {
 	if d <= 0 {
 		return
 	}
-	p.env.scheduleResume(p, p.env.now+d)
+	e := p.env
+	at := e.now + d
+	if e.skipAhead(at) {
+		return
+	}
+	e.scheduleResume(p, at)
 	p.park()
+}
+
+// skipAhead is the clock-advance fast path for Sleep and Yield: when
+// every pending event is strictly later than the caller's wake time,
+// the event loop would pop the caller's own resume next — the resume
+// would carry the highest sequence number, so an already-pending event
+// would have to beat `at` outright to run first. In that case just
+// advance the clock and keep running, skipping the wheel push/pop and
+// the park entirely. Relative order of pending events is untouched, so
+// schedules are bit-identical with and without the fast path. Disabled
+// in checked builds so the wheel and dispatch-order oracles observe
+// every transition, and within a horizon-bounded Run a process never
+// advances past `until` (it must park and stay parked, exactly as the
+// slow path leaves it).
+func (e *Env) skipAhead(at Time) bool {
+	if e.checked || e.stopped || at > e.until || !e.q.peekBeyond(at) {
+		return false
+	}
+	e.now = at
+	return true
 }
 
 // releaseParked unwinds any still-parked process goroutines and drains

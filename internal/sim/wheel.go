@@ -253,6 +253,34 @@ func (w *wheel) popSlow(until Time) (event, bool) {
 	return ev, true
 }
 
+// peekBeyond reports whether every pending event is strictly later than
+// t — the query behind the clock-advance fast path in Proc.Sleep/Yield.
+// It mirrors popSlow's cursor settling (including advance's cascades,
+// which a pop at the same point would perform identically) but drains
+// nothing, so event order is untouched.
+func (w *wheel) peekBeyond(t Time) bool {
+	if w.count == 0 {
+		return true
+	}
+	if w.hasNext {
+		return w.next.at > t
+	}
+	if w.head != 0 {
+		return w.low > t
+	}
+	lv := &w.levels[0]
+	for {
+		if lv.buckets != nil {
+			if i, ok := lv.scan(int(w.low) & wheelMask); ok {
+				return (w.low&^Time(wheelMask))|Time(i) > t
+			}
+		}
+		if !w.advance(t) {
+			return true
+		}
+	}
+}
+
 // advance pulls the next occupied bucket from the lowest level that has
 // one down into the levels below it, moving the cursor to that bucket's
 // start. It returns false — leaving the cursor ≤ until — if the next

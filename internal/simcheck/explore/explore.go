@@ -222,7 +222,7 @@ func Run(sc Scenario) (res Result) {
 	if sc.Warm {
 		app.WarmCache()
 	}
-	sys.Start(app.Handler())
+	sys.StartApp(app)
 	r := sys.Run(app, sc.RPS, sc.Warmup, sc.Measure)
 	res.Completed = r.Completed
 

@@ -35,7 +35,12 @@ const (
 // reclaimer lane (2000) and the per-memory-node stall lanes (3000+k).
 const TidFailover = 2500
 
-// event is one Chrome trace "complete" event (ph=X).
+// event is one Chrome trace "complete" event (ph=X). High-rate spans
+// (one per request, one per RX batch) are recorded in typed form — the
+// unexported fields below — and their Name/Args are rendered only when
+// the trace is exported, so recording them allocates nothing beyond the
+// amortized slice append. The unexported fields are invisible to
+// encoding/json; render materializes them first.
 type event struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat"`
@@ -45,6 +50,34 @@ type event struct {
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
 	Args map[string]any `json:"args,omitempty"`
+
+	typed     uint8 // typedNone: Name/Args are authoritative
+	reqID     uint64
+	reqClass  string
+	reqFaults int
+	packets   int
+}
+
+// Typed-event discriminators.
+const (
+	typedNone = iota
+	typedRun  // a worker's on-core request stint
+	typedPoll // a dispatcher rx-poll batch
+)
+
+// render materializes a typed event's Name and Args. The rendered output
+// is byte-identical to what the eager map-based recording produced.
+func (e *event) render() event {
+	out := *e
+	switch e.typed {
+	case typedRun:
+		out.Name = fmt.Sprintf("req %d", e.reqID)
+		out.Args = map[string]any{"faults": e.reqFaults, "class": e.reqClass}
+	case typedPoll:
+		out.Name = "rx-poll"
+		out.Args = map[string]any{"packets": e.packets}
+	}
+	return out
 }
 
 // Recorder accumulates spans. The zero value is inert (all methods are
@@ -79,6 +112,35 @@ func (r *Recorder) Span(kind Kind, tid int, name string, start, end sim.Time, ar
 		PID:  1,
 		TID:  tid,
 		Args: args,
+	})
+}
+
+// RunSpan records one on-core request stint (KindRun) in typed form:
+// no name formatting, no attribute map — the per-request recording cost
+// of a traced run is one slice append.
+func (r *Recorder) RunSpan(tid int, id uint64, class string, faults int, start, end sim.Time) {
+	if r == nil || len(r.events) >= r.limit {
+		return
+	}
+	r.events = append(r.events, event{
+		Cat: string(KindRun), Ph: "X",
+		TS: start.Micros(), Dur: (end - start).Micros(),
+		PID: 1, TID: tid,
+		typed: typedRun, reqID: id, reqClass: class, reqFaults: faults,
+	})
+}
+
+// PollSpan records one dispatcher rx-poll batch (KindDispatch) in typed
+// form, like RunSpan.
+func (r *Recorder) PollSpan(tid, packets int, start, end sim.Time) {
+	if r == nil || len(r.events) >= r.limit {
+		return
+	}
+	r.events = append(r.events, event{
+		Cat: string(KindDispatch), Ph: "X",
+		TS: start.Micros(), Dur: (end - start).Micros(),
+		PID: 1, TID: tid,
+		typed: typedPoll, packets: packets,
 	})
 }
 
@@ -120,7 +182,8 @@ func (r *Recorder) Events() []Event {
 		return nil
 	}
 	out := make([]Event, len(r.events))
-	for i, e := range r.events {
+	for i := range r.events {
+		e := r.events[i].render()
 		out[i] = Event{Name: e.Name, Kind: Kind(e.Cat), Phase: e.Ph,
 			TS: e.TS, Dur: e.Dur, Tid: e.TID}
 	}
@@ -167,8 +230,8 @@ func (r *Recorder) WriteJSON(w io.Writer, workers, dispatchers int) error {
 	for _, tn := range r.tracks {
 		all = append(all, tn)
 	}
-	for _, e := range r.events {
-		all = append(all, e)
+	for i := range r.events {
+		all = append(all, r.events[i].render())
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(all)

@@ -109,6 +109,62 @@ func (a *ArrayApp) NextRequest(rng *sim.RNG) (any, int) {
 	return ArrayGet{Index: idx}, a.ReqBytes
 }
 
+// arrayStepper is ArrayApp's resumable-step handler. The phase machine
+// mirrors Handler line for line — same compute charges, same probe
+// placement, same access and mismatch check — so both tiers replay the
+// identical schedule.
+type arrayStepper struct{ a *ArrayApp }
+
+// Array step phases (StepFrame.PC values).
+const (
+	arrayStepParse = iota
+	arrayStepAccess
+	arrayStepReply
+)
+
+// StepHandler implements StepApp.
+func (a *ArrayApp) StepHandler() StepHandler { return arrayStepper{a} }
+
+// Begin implements StepHandler.
+func (arrayStepper) Begin(f *StepFrame, payload any) { f.PC = arrayStepParse }
+
+// Step implements StepHandler: parse → array access (the only fault
+// point; W[0] holds the value across a fault-free rerun) → reply.
+func (h arrayStepper) Step(ctx StepCtx, f *StepFrame, payload any) (any, int, StepStatus) {
+	a := h.a
+	switch f.PC {
+	case arrayStepParse:
+		ctx.Compute(a.ParseCost)
+		ctx.Probe()
+		f.PC = arrayStepAccess
+		fallthrough
+	case arrayStepAccess:
+		if put, ok := payload.(ArrayPut); ok {
+			v := arraySeed(put.Index)
+			if !ctx.TryStoreU64(a.space, put.Index*8, v) {
+				return nil, 0, StepFault
+			}
+			f.W[0] = v
+		} else {
+			idx := payload.(ArrayGet).Index
+			v, ok := ctx.TryLoadU64(a.space, idx*8)
+			if !ok {
+				return nil, 0, StepFault
+			}
+			if v != arraySeed(idx) {
+				a.Mismatches.Inc()
+			}
+			f.W[0] = v
+		}
+		f.PC = arrayStepReply
+		fallthrough
+	case arrayStepReply:
+		ctx.Compute(a.ReplyCost)
+		return ArrayVal{Value: f.W[0]}, a.RespBytes, StepDone
+	}
+	panic("workload: corrupt array step frame")
+}
+
 // Handler implements App.
 func (a *ArrayApp) Handler() Handler {
 	return func(ctx Ctx, payload any) (any, int) {

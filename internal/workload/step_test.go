@@ -1,0 +1,28 @@
+package workload
+
+import (
+	"testing"
+	"unsafe"
+
+	"repro/internal/uctx"
+)
+
+// The StepFrame is this tier's light context: its size must stay pinned
+// to the paper's 80-byte figure (Table 1), represented in this repo by
+// uctx.LightContext.
+func TestStepFrameSize(t *testing.T) {
+	if got, want := unsafe.Sizeof(StepFrame{}), unsafe.Sizeof(uctx.LightContext{}); got != want {
+		t.Fatalf("StepFrame is %d bytes; must match uctx.LightContext (%d)", got, want)
+	}
+	if unsafe.Sizeof(StepFrame{}) != 80 {
+		t.Fatalf("StepFrame is %d bytes; the paper's light context is 80", unsafe.Sizeof(StepFrame{}))
+	}
+}
+
+// ArrayApp must qualify for the flat tier.
+func TestArrayAppIsStepApp(t *testing.T) {
+	var app any = &ArrayApp{}
+	if _, ok := app.(StepApp); !ok {
+		t.Fatal("*ArrayApp does not implement StepApp")
+	}
+}
