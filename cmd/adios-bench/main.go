@@ -58,6 +58,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/faults"
+	"repro/internal/migrate"
 	"repro/internal/sim"
 	"repro/internal/simcheck"
 )
@@ -74,6 +75,8 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 0, "salt for the fault schedule (replays the workload under different faults)")
 	memnodes := flag.Int("memnodes", 1, "memory nodes every built system stripes its backing store across (1 = the paper's topology)")
 	replicasN := flag.Int("replicas", 1, "copies of every page, on distinct memory nodes (1 = unreplicated)")
+	migrateSpec := flag.String("migrate", "", "page-migration plan for every built system, e.g. 'on' or 'epoch=50us,hot=8'")
+	skewS := flag.Float64("skew", 0, "Zipfian key-skew exponent for apps that support one (0 = native distribution)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	qdepth := flag.Bool("qdepth", false, "report the pending-event high-water mark across all simulations")
@@ -110,6 +113,20 @@ func main() {
 	}
 	bench.SetMemNodes(*memnodes)
 	bench.SetReplicas(*replicasN)
+	if *migrateSpec != "" {
+		mc, err := migrate.ParseSpec(*migrateSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adios-bench: %v\n", err)
+			os.Exit(2)
+		}
+		bench.SetMigrate(mc)
+	}
+	if *skewS != 0 && *skewS <= 1 {
+		// math/rand's Zipf generator rejects exponents at or below 1.
+		fmt.Fprintln(os.Stderr, "adios-bench: -skew must be > 1 (or 0 for the native distribution)")
+		os.Exit(2)
+	}
+	bench.SetSkew(*skewS)
 	startProfiles(*cpuProfile, *memProfile)
 	if *qdepth {
 		sim.TrackMaxPending(true)

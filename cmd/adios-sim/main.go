@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/kvs"
+	"repro/internal/migrate"
 	"repro/internal/sim"
 	"repro/internal/simcheck"
 	"repro/internal/sstable"
@@ -47,6 +48,9 @@ func main() {
 	memnodes := flag.Int("memnodes", 1, "memory nodes the backing store is striped across")
 	replicasN := flag.Int("replicas", 1, "copies of every page, on distinct memory nodes (1 = unreplicated)")
 	faultSpec := flag.String("faults", "", "fault plan (see EXPERIMENTS.md), e.g. 'node=0,mem=2ms:400us'")
+	migrateSpec := flag.String("migrate", "", "page-migration plan (see EXPERIMENTS.md): off|on|'epoch=50us,hot=8,...'")
+	skew := flag.Float64("skew", 0, "Zipfian key-skew exponent for the micro workload (0 = uniform)")
+	block := flag.Int64("block", 0, "shard placement block size in pages (0 = page striping)")
 	cdf := flag.Bool("cdf", false, "print the e2e latency CDF")
 	traceOut := flag.String("trace", "", "write a chrome://tracing / Perfetto trace of the run to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -114,8 +118,32 @@ func main() {
 		}
 		cfg.Faults = plan
 	}
+	if *migrateSpec != "" {
+		mc, err := migrate.ParseSpec(*migrateSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adios-sim: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Migrate = mc
+	}
+	if *block > 0 {
+		cfg.Shard = core.Block(*block)
+	}
+	if *skew != 0 && *skew <= 1 {
+		// math/rand's Zipf generator rejects exponents at or below 1.
+		fmt.Fprintf(os.Stderr, "adios-sim: -skew must be > 1 (or 0 for uniform)\n")
+		os.Exit(2)
+	}
 	sys := core.NewSystem(cfg)
 	app, _ := buildApp(sys, *appName)
+	if *skew > 0 {
+		if a, ok := app.(*workload.ArrayApp); ok {
+			a.Dist = &workload.Zipfian{Keys: a.Entries(), S: *skew}
+		} else {
+			fmt.Fprintf(os.Stderr, "adios-sim: -skew applies to the micro workload only\n")
+			os.Exit(2)
+		}
+	}
 	if w, ok := app.(interface{ WarmCache() }); ok {
 		w.WarmCache()
 	}
@@ -124,6 +152,9 @@ func main() {
 	if *traceOut != "" {
 		rec = trace.New(0)
 		sys.Sched.Trace = rec
+		if sys.Migr != nil {
+			sys.Migr.Trace = rec
+		}
 	}
 
 	window := *ms
@@ -164,6 +195,14 @@ func main() {
 			sys.Fabric.TimeoutErrors(), sys.Health.Detected.Value(),
 			sys.Mgr.FailoverReads.Value(), sys.Repair.Repaired.Value(),
 			sys.Repair.Unrepairable.Value(), sim.Time(sys.Repair.RepairLat.P99()).Micros())
+	}
+	// Migration stats only exist when migration is enabled on a striped
+	// run, so migration-off invocations print byte-identically to builds
+	// without migration support.
+	if sys.Migr != nil {
+		fmt.Printf("migrate     moved=%d planned=%d aborted=%d deferred=%d epochs=%d migr-p99-us=%.0f\n",
+			sys.Migr.PagesMoved.Value(), sys.Migr.Planned.Value(), sys.Migr.Aborted.Value(),
+			sys.Migr.Deferred.Value(), sys.Migr.Epochs.Value(), sim.Time(sys.Migr.MigrLat.P99()).Micros())
 	}
 	fmt.Printf("paging      evictions=%d writebacks=%d stalls=%d resident-frames=%d/%d\n",
 		sys.Mgr.Evictions.Value(), sys.Mgr.DirtyWritebacks.Value(), sys.Mgr.AllocStalls.Value(),

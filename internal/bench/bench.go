@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/migrate"
 	"repro/internal/plot"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -129,6 +130,28 @@ func SetReplicas(r int) {
 	replicas = r
 }
 
+// migrPlan is the process-wide page-migration plan applied to every
+// system an experiment builds (installed from the CLI's -migrate flag).
+// The zero value builds no migrator, leaving every experiment
+// byte-identical to a build without migration support. The rebalance
+// experiment overrides it per point for its on/off comparison.
+var migrPlan migrate.Config
+
+// SetMigrate installs the default migration plan for subsequently built
+// systems. Not safe to call concurrently with running experiments.
+func SetMigrate(cfg migrate.Config) { migrPlan = cfg }
+
+// skew is the process-wide Zipfian key-skew exponent applied to every
+// app an experiment builds that supports one (installed from the CLI's
+// -skew flag). Zero keeps each app's native distribution and draws the
+// identical RNG stream as a build without skew support. The rebalance
+// experiment overrides it per point for its skew sweep.
+var skew float64
+
+// SetSkew installs the default key-skew exponent for subsequently built
+// apps. Not safe to call concurrently with running experiments.
+func SetSkew(s float64) { skew = s }
+
 func (o *Options) printf(format string, args ...any) {
 	if o.Out != nil {
 		fmt.Fprintf(o.Out, format, args...)
@@ -208,11 +231,17 @@ func buildPreset(localFrac float64, mut mutator,
 		cfg.Faults = faultPlan
 		cfg.MemNodes = memNodes
 		cfg.Replicas = replicas
+		cfg.Migrate = migrPlan
 		if mut != nil {
 			mut(&cfg)
 		}
 		sys := core.NewSystem(cfg)
 		app := mkApp(sys)
+		if skew > 0 {
+			if sk, ok := app.(interface{ SetSkew(float64) }); ok {
+				sk.SetSkew(skew)
+			}
+		}
 		sys.StartApp(app)
 		return sys, app
 	}
@@ -497,6 +526,7 @@ var experiments = map[string]func(Options){
 	"resilience":    func(o Options) { Resilience(o) },
 	"shards":        func(o Options) { Shards(o) },
 	"failover":      func(o Options) { Failover(o) },
+	"rebalance":     func(o Options) { Rebalance(o) },
 }
 
 // Run executes the experiment with the given id. Returns an error for
@@ -521,7 +551,7 @@ func All() []string {
 		"abl-quantum", "abl-pool", "abl-twosided", "abl-steal",
 		"abl-ipi", "abl-evict", "abl-hugepage", "abl-canvas",
 		"abl-multidisp", "abl-transport", "infiniswap", "resilience",
-		"shards", "failover",
+		"shards", "failover", "rebalance",
 	}
 }
 

@@ -30,7 +30,7 @@ func TestRunDispatchesAllIDs(t *testing.T) {
 	for _, id := range All() {
 		if !strings.HasPrefix(id, "fig") && !strings.HasPrefix(id, "table") &&
 			!strings.HasPrefix(id, "abl") && id != "infiniswap" && id != "resilience" &&
-			id != "shards" && id != "failover" {
+			id != "shards" && id != "failover" && id != "rebalance" {
 			t.Fatalf("unexpected id %q", id)
 		}
 	}

@@ -60,6 +60,10 @@ func (sys *System) Audit(res RunResult, strict bool) []error {
 	if sys.Repair != nil {
 		add(collect(func() error { return sys.Repair.RepairLat.Check() }))
 	}
+	if sys.Migr != nil {
+		add(collect(func() error { return sys.Migr.Check() }))
+		add(collect(func() error { return sys.Migr.MigrLat.Check() }))
+	}
 	return errs
 }
 

@@ -18,6 +18,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/loadgen"
 	"repro/internal/memnode"
+	"repro/internal/migrate"
 	"repro/internal/paging"
 	"repro/internal/rdma"
 	"repro/internal/sched"
@@ -99,6 +100,12 @@ type Config struct {
 	// injection entirely (no interceptor is installed, so fault-free runs
 	// are byte-identical to builds without the faults package wired).
 	Faults faults.Config
+
+	// Migrate configures hot-page tracking and online migration; the
+	// zero value disables it entirely (no hooks fire, no epoch task is
+	// scheduled, so migration-off runs are byte-identical to builds
+	// without the migrate package wired).
+	Migrate migrate.Config
 
 	Seed int64
 }
@@ -190,6 +197,11 @@ type System struct {
 	// Both nil otherwise, so crash-free runs schedule no extra events.
 	Health *rdma.Health
 	Repair *paging.Repairer
+
+	// Migr exists only on multi-node runs with migration enabled: the
+	// hot-page tracker + online migration executor. Nil otherwise, so
+	// migration-off runs schedule no extra events.
+	Migr *migrate.Migrator
 }
 
 // NewSystem builds the data plane. Applications then allocate their
@@ -291,6 +303,23 @@ func (sys *System) startWith(handler workload.Handler, stepH workload.StepHandle
 		sys.Health.OnDown = sys.Repair.NodeDown
 		sys.Health.Start()
 	}
+	if sys.Cfg.Migrate.Enabled && len(sys.Fabric) > 1 {
+		mcq := rdma.NewCQ("migrate")
+		mqps := sys.Fabric.CreateQPs("migrate", mcq)
+		sys.Migr = migrate.New(sys.Mgr, sys.Mem, mqps, mcq, sys.Cfg.Migrate)
+		sys.Migr.OnFlip = func(s *paging.Space, vpn int64, from, to int) {
+			sys.Shards.Override(vpn, to)
+		}
+		sys.Mgr.SetMigrator(sys.Migr)
+		if sys.Repair != nil {
+			sys.Repair.OnReown = func(s *paging.Space, vpn int64, slot, dst int) {
+				sys.Migr.NoteReown(s, vpn, slot, dst)
+				if slot == 0 {
+					sys.Shards.Override(vpn, dst)
+				}
+			}
+		}
+	}
 }
 
 // RunResult summarizes one measured run.
@@ -319,6 +348,10 @@ type RunResult struct {
 	Failovers int64
 	Repaired  int64
 
+	// Migrations counts pages whose owner flip landed; zero unless
+	// migration is enabled.
+	Migrations int64
+
 	// Breakdown aggregates (cycles) over completed requests, for the
 	// Figure 2(c)/7(c) decomposition.
 	Gen *loadgen.Gen // full histograms for CDFs and per-class latency
@@ -342,9 +375,12 @@ func (sys *System) Run(app workload.App, rateRPS float64, warmup, measure sim.Ti
 	sys.Env.At(end, func() { linkUtil = sys.Fabric.InUtilization() })
 	sys.Env.Run(end + sim.Millis(50))
 
-	var repaired int64
+	var repaired, migrations int64
 	if sys.Repair != nil {
 		repaired = sys.Repair.Repaired.Value()
+	}
+	if sys.Migr != nil {
+		migrations = sys.Migr.PagesMoved.Value()
 	}
 	now := end
 	return RunResult{
@@ -361,8 +397,9 @@ func (sys *System) Run(app workload.App, rateRPS float64, warmup, measure sim.Ti
 		Completed: sys.Sched.Completed.Value(),
 		Aborts:    sys.Sched.FaultAborts.Value(),
 		Retries:   sys.Mgr.FetchRetries.Value() + sys.Mgr.WritebackRetries.Value(),
-		Failovers: sys.Mgr.FailoverReads.Value(),
-		Repaired:  repaired,
-		Gen:       gen,
+		Failovers:  sys.Mgr.FailoverReads.Value(),
+		Repaired:   repaired,
+		Migrations: migrations,
+		Gen:        gen,
 	}
 }

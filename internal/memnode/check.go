@@ -12,9 +12,14 @@ import "repro/internal/simcheck"
 // The recomputation deliberately ignores Reown overrides: repair
 // re-homes a copy without moving its accounting (the dead node's
 // charge is the blast radius the operator already paid for), so the
-// static placement is the ledger of record.
+// static placement is the ledger of record. Migration is the one
+// exception — it moves the charge explicitly via MoveCharge, and those
+// net per-node deltas are added on top of the static expectation.
 func (c *Cluster) CheckAllocation() error {
 	expect := make([]int64, len(c.nodes))
+	for i := range c.moved {
+		expect[i] += c.moved[i]
+	}
 	seen := make(map[*Region]bool)
 	for i, n := range c.nodes {
 		for _, r := range n.regions {

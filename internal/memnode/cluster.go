@@ -42,6 +42,13 @@ type Cluster struct {
 
 	replicas int
 	ownerAt  func(page int64, k int) int
+
+	// moved holds the net capacity (bytes) each node gained (+) or shed
+	// (-) through explicit ledger moves (page migration). Unlike repair's
+	// Reown — which re-homes a copy without moving its accounting — a
+	// migration transfers both the bytes and the charge, so the capacity
+	// oracle adds these deltas on top of the static placement.
+	moved []int64
 }
 
 // NewCluster builds a cluster over nodes with the given page size and
@@ -82,6 +89,33 @@ func NewClusterReplicated(nodes []*Node, pageSize int64, place func(page int64) 
 
 // Replicas returns the cluster's replication factor.
 func (c *Cluster) Replicas() int { return c.replicas }
+
+// MoveCharge transfers n bytes of capacity charge from node `from` to
+// node `to`: the page-migration ledger move. The admission decision was
+// made by the migration planner (which checks the destination's free
+// capacity before copying), so an overflow here is a planner bug and
+// panics rather than failing.
+func (c *Cluster) MoveCharge(from, to int, n int64) {
+	if from == to || n == 0 {
+		return
+	}
+	if c.nodes[to].allocated+n > c.nodes[to].capacity {
+		panic(fmt.Sprintf("memnode: MoveCharge overflows node %d: %d charged + %d moved > %d capacity",
+			to, c.nodes[to].allocated, n, c.nodes[to].capacity))
+	}
+	c.nodes[from].allocated -= n
+	c.nodes[to].allocated += n
+	if c.moved == nil {
+		c.moved = make([]int64, len(c.nodes))
+	}
+	c.moved[from] -= n
+	c.moved[to] += n
+}
+
+// FreeCapacity returns the uncharged bytes on node i.
+func (c *Cluster) FreeCapacity(i int) int64 {
+	return c.nodes[i].capacity - c.nodes[i].allocated
+}
 
 // NumNodes returns the number of memory nodes in the cluster.
 func (c *Cluster) NumNodes() int { return len(c.nodes) }

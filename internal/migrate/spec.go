@@ -1,0 +1,170 @@
+package migrate
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// ParseSpec parses the -migrate flag grammar: "off" (or the empty
+// string) disables migration, "on" enables it with the calibrated
+// defaults, and a comma-separated list of knobs enables it with
+// overrides:
+//
+//	epoch=DUR  heat-decay / planning interval
+//	hot=N      minimum decayed heat for a page to be eligible
+//	bw=F       copy bandwidth cap, bytes per cycle
+//	imb=F      max/mean per-node fault ratio that triggers planning
+//	max=N      migrations planned per epoch, at most
+//	min=N      minimum fault count on the hottest node per epoch
+//
+// Durations accept "us"/"µs", "ms", "s" suffixes, or bare CPU cycles,
+// exactly as the -faults grammar does. Zero-valued knobs are "unset"
+// and take the default at construction, so "epoch=0" is equivalent to
+// "on". Example: "epoch=50us,hot=8,bw=0.25".
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "off" {
+		return cfg, nil
+	}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "on" {
+			cfg.Enabled = true
+			continue
+		}
+		if item == "off" {
+			return Config{}, fmt.Errorf("migrate: %q: off cannot be combined with other clauses", spec)
+		}
+		key, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("migrate: %q: want key=value (or on/off)", item)
+		}
+		var err error
+		switch key {
+		case "epoch":
+			err = parseDur(val, &cfg.Epoch)
+		case "hot":
+			err = parseCount(val, &cfg.HotThreshold)
+		case "bw":
+			err = parseFactor(val, &cfg.Bandwidth)
+		case "imb":
+			err = parseFactor(val, &cfg.Imbalance)
+		case "max":
+			err = parseCount(val, &cfg.MaxMoves)
+		case "min":
+			err = parseCount(val, &cfg.MinFaults)
+		default:
+			return Config{}, fmt.Errorf("migrate: unknown knob %q (want epoch, hot, bw, imb, max, min)", key)
+		}
+		if err != nil {
+			return Config{}, fmt.Errorf("migrate: %s: %v", key, err)
+		}
+		cfg.Enabled = true
+	}
+	return cfg, nil
+}
+
+// String renders the config in ParseSpec's grammar (the canonical form
+// used in logs and CSV keys): "off" when disabled, "on" when enabled
+// with every knob unset, otherwise the set knobs — so
+// ParseSpec(c.String()) always recovers the identical config.
+func (c Config) String() string {
+	if !c.Enabled {
+		return "off"
+	}
+	var parts []string
+	if c.Epoch > 0 {
+		parts = append(parts, fmt.Sprintf("epoch=%s", durString(c.Epoch)))
+	}
+	if c.HotThreshold > 0 {
+		parts = append(parts, fmt.Sprintf("hot=%d", c.HotThreshold))
+	}
+	if c.Bandwidth > 0 {
+		parts = append(parts, fmt.Sprintf("bw=%g", c.Bandwidth))
+	}
+	if c.Imbalance > 0 {
+		parts = append(parts, fmt.Sprintf("imb=%g", c.Imbalance))
+	}
+	if c.MaxMoves > 0 {
+		parts = append(parts, fmt.Sprintf("max=%d", c.MaxMoves))
+	}
+	if c.MinFaults > 0 {
+		parts = append(parts, fmt.Sprintf("min=%d", c.MinFaults))
+	}
+	if len(parts) == 0 {
+		return "on"
+	}
+	return strings.Join(parts, ",")
+}
+
+// parseCount parses a non-negative integer knob (0 = unset).
+func parseCount(s string, out *int) error {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return fmt.Errorf("count %q must be an integer >= 0", s)
+	}
+	*out = n
+	return nil
+}
+
+// maxFactor bounds float knobs so the canonical %g form stays exactly
+// re-parseable and downstream arithmetic stays finite.
+const maxFactor = 1e15
+
+// parseFactor parses a non-negative finite float knob (0 = unset).
+func parseFactor(s string, out *float64) error {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(f) || f < 0 || f > maxFactor {
+		return fmt.Errorf("value %q must be finite and in [0, %g]", s, float64(maxFactor))
+	}
+	*out = f
+	return nil
+}
+
+// maxDurCycles bounds parsed durations (≈ 5.8 sim-days at 2 GHz) so
+// every accepted duration is exactly representable in float64 and the
+// canonical form re-parses identically — the same bound the faults
+// grammar uses.
+const maxDurCycles = 1e15
+
+// parseDur parses a duration: "20us", "1.5ms", "2s", or bare cycles.
+func parseDur(s string, out *sim.Time) error {
+	mult := 1.0
+	num := s
+	switch {
+	case strings.HasSuffix(s, "us"):
+		num, mult = s[:len(s)-2], float64(sim.Micros(1))
+	case strings.HasSuffix(s, "µs"):
+		num, mult = strings.TrimSuffix(s, "µs"), float64(sim.Micros(1))
+	case strings.HasSuffix(s, "ms"):
+		num, mult = s[:len(s)-2], float64(sim.Millis(1))
+	case strings.HasSuffix(s, "s"):
+		num, mult = s[:len(s)-1], float64(sim.Millis(1000))
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil || math.IsNaN(f) || f < 0 || f*mult > maxDurCycles {
+		return fmt.Errorf("duration %q: want e.g. 20us, 1.5ms, or cycles (max %g cycles)", s, float64(maxDurCycles))
+	}
+	*out = sim.Time(f * mult)
+	return nil
+}
+
+// durString renders a duration in the spec grammar. Each branch is
+// exact — whole milliseconds, whole microseconds, or bare cycles — so
+// ParseSpec(String()) always recovers the identical duration.
+func durString(d sim.Time) string {
+	us, ms := sim.Micros(1), sim.Millis(1)
+	switch {
+	case d >= ms && d%ms == 0:
+		return fmt.Sprintf("%dms", int64(d/ms))
+	case d%us == 0:
+		return fmt.Sprintf("%dus", int64(d/us))
+	default:
+		return fmt.Sprintf("%d", int64(d))
+	}
+}

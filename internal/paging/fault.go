@@ -86,6 +86,11 @@ type Fetch struct {
 	// terminal only when pending is empty and at least one copy acked.
 	pending uint64
 	acked   uint64
+
+	// migGen is the page's migration generation at post time (zero with
+	// migration off); the completion-side oracle checks it still matches,
+	// proving no owner flip straddled the fetch.
+	migGen uint32
 }
 
 // Writeback reports whether this record is an eviction write-back.
@@ -107,6 +112,7 @@ func (m *Manager) newFetch(s *Space, vpn int64, frame int32, writeback, demand b
 	f.issuedAt = int64(m.env.Now())
 	f.qp, f.attempts, f.firstFailAt = nil, 1, -1
 	f.node, f.tried, f.pending, f.acked = 0, 0, 0, 0
+	f.migGen = 0
 	return f
 }
 
@@ -207,6 +213,10 @@ func (m *Manager) startFetch(t Thread, f *Fetch) {
 	f.qp = qp
 	f.node = node
 	f.tried = 1 << uint(node)
+	if m.migr != nil {
+		m.migr.RecordFault(s, vpn, node, f.demand)
+		f.migGen = m.migr.Gen(s, vpn)
+	}
 	f.src = s.region.SliceFor(vpn*PageSize, PageSize, node, qp.Name())
 	for {
 		if err := qp.PostReadAlias(f.src, f); err == nil {
@@ -275,6 +285,10 @@ func (m *Manager) issueAsync(t Thread, s *Space, vpn int64) bool {
 	f.qp = qp
 	f.node = node
 	f.tried = 1 << uint(node)
+	if m.migr != nil {
+		m.migr.RecordFault(s, vpn, node, false)
+		f.migGen = m.migr.Gen(s, vpn)
+	}
 	e := &s.ptes[vpn]
 	e.state = pageFetching
 	e.fetch = f
@@ -403,6 +417,9 @@ func (m *Manager) CompleteOn(f *Fetch, cerr error, qp *rdma.QP) bool {
 	} else {
 		if e.state != pageFetching {
 			failPageState("paging/fetch-state", s, f.VPN, e.state, "fetching")
+		}
+		if m.migr != nil && simcheck.On() {
+			m.migr.CheckRead(s, f.VPN, f.node, f.migGen)
 		}
 		e.state = pagePresent
 		e.frame = f.frame

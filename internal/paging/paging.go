@@ -237,6 +237,13 @@ type Manager struct {
 	FailoverReads stats.Counter // fetches re-routed off a dead node to a replica
 	ReplicaWrites stats.Counter // extra write-back posts fanned out to replicas
 
+	// migr is the page-migration observer (nil = migration off, the
+	// default fast path: no hook is consulted at all). It samples heat
+	// on the fault/hit paths, stamps fetches with per-page migration
+	// generations, and extends write-back fan-out while a copy is in
+	// flight.
+	migr Migrator
+
 	// health is the node-liveness oracle (nil = every node live, the
 	// fault-free fast path). wbQPs are the reclaimer's per-node QPs,
 	// reused for write-back replica fan-out so every copy's completion
@@ -298,6 +305,9 @@ func NewManager(env *sim.Env, cfg Config) *Manager {
 // Config returns the paging configuration.
 func (m *Manager) Config() Config { return m.cfg }
 
+// Env returns the simulation environment the manager runs in.
+func (m *Manager) Env() *sim.Env { return m.env }
+
 // NodeHealth is the failure-detector face the paging layer consults:
 // rdma.Health implements it. Live gates routing decisions; the manager
 // feeds data-path timeouts back through ReportTimeout so detection
@@ -310,6 +320,41 @@ type NodeHealth interface {
 // SetHealth installs the node-liveness oracle. nil (the default) keeps
 // the fault-free routing paths, which never consult health at all.
 func (m *Manager) SetHealth(h NodeHealth) { m.health = h }
+
+// NodeLive reports whether node n is live per the installed health
+// oracle (always true without one).
+func (m *Manager) NodeLive(n int) bool { return m.health == nil || m.health.Live(n) }
+
+// Migrator is the page-migration subsystem's face toward the paging hot
+// paths (internal/migrate implements it; the interface lives here to
+// avoid an import cycle). All hooks are behind nil checks, so
+// migration-off runs execute byte-identically to builds without them.
+type Migrator interface {
+	// RecordFault observes a fetch post of (s, vpn) against node —
+	// demand misses and async fills both count toward the node's load.
+	RecordFault(s *Space, vpn int64, node int, demand bool)
+	// RecordTouch observes a resident hit of (s, vpn).
+	RecordTouch(s *Space, vpn int64)
+	// Gen returns the page's current migration generation, stamped on
+	// each fetch at post time.
+	Gen(s *Space, vpn int64) uint32
+	// CheckRead verifies (oracles armed only) that a completing fetch's
+	// generation still matches: a flip mid-fetch would have let the
+	// install read the pre-migration copy.
+	CheckRead(s *Space, vpn int64, node int, gen uint32)
+	// WBExtraMask returns extra owner-node bits a write-back of (s, vpn)
+	// must fan out to while a migration copy of the page is in flight
+	// (dual-apply), so the copy at the destination never goes stale.
+	WBExtraMask(s *Space, vpn int64) uint64
+}
+
+// SetMigrator installs the migration observer. nil (the default) keeps
+// the hook-free hot paths.
+func (m *Manager) SetMigrator(mg Migrator) { m.migr = mg }
+
+// Spaces returns the manager's spaces in creation order (migration
+// planner and audit sweeps).
+func (m *Manager) Spaces() []*Space { return m.spaces }
 
 // SetFailoverQPs gives the manager its own per-node QPs for failover
 // re-posts (a retry in completion context has no faulting thread — and
@@ -368,6 +413,20 @@ func (m *Manager) NewSpace(name string, region *memnode.Region) *Space {
 
 // Name returns the space's name.
 func (s *Space) Name() string { return s.name }
+
+// ID returns the space's creation-order id (stable for a run).
+func (s *Space) ID() int32 { return s.id }
+
+// Region returns the space's backing region.
+func (s *Space) Region() *memnode.Region { return s.region }
+
+// InFlight reports whether the page has a fetch or write-back pending.
+// The migration executor defers its owner flip while true, so no
+// in-flight movement ever straddles a re-route.
+func (s *Space) InFlight(vpn int64) bool {
+	st := s.ptes[vpn].state
+	return st == pageFetching || st == pageWriteback
+}
 
 // Size returns the space size in bytes.
 func (s *Space) Size() int64 { return s.region.Size() }

@@ -142,12 +142,19 @@ func (r *reclaimer) processVictim() bool {
 	if e.dirty && !simcheck.Mut("paging-dirty-free") {
 		node := s.region.NodeOf(f.vpn)
 		rec := m.newFetch(s, f.vpn, fi, true, false)
-		if s.region.Replicas() > 1 {
+		// Dual-apply: while a migration copy of this page is in flight,
+		// the write-back also targets the copy's destination so the new
+		// home never holds stale bytes when the owner flip lands.
+		var extra uint64
+		if m.migr != nil {
+			extra = m.migr.WBExtraMask(s, f.vpn)
+		}
+		if s.region.Replicas() > 1 || extra != 0 {
 			// Fan out to every live owner; the slot-waited primary post
 			// targets the first live one. A fully dead owner set falls
 			// back to the unreplicated retry-forever path.
 			if mask, first := m.wbPlan(s, f.vpn); mask != 0 {
-				rec.pending, node = mask, first
+				rec.pending, node = mask|extra, first
 			}
 		}
 		qp := r.qps[node]

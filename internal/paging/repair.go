@@ -67,6 +67,12 @@ type Repairer struct {
 	// verdict (job creation) to the copy being durable at its new home.
 	RepairLat *stats.Histogram
 
+	// OnReown, if set, observes every repair re-home as it lands
+	// (space, vpn, slot, new node). The migration subsystem uses it to
+	// keep its owner-table view — and the ShardMap override table —
+	// consistent when repair re-homes a page migration already moved.
+	OnReown func(s *Space, vpn int64, slot, dst int)
+
 	downAt sim.Time // detection time of the current wave, for RepairLat
 }
 
@@ -248,6 +254,9 @@ func (r *Repairer) drain() {
 			r.state = rpWrite
 		case rpWrite:
 			j.space.region.Reown(j.vpn, j.slot, r.dst)
+			if r.OnReown != nil {
+				r.OnReown(j.space, j.vpn, j.slot, r.dst)
+			}
 			r.Repaired.Inc()
 			r.RepairLat.Record(int64(r.env.Now() - r.downAt))
 			r.mix(uint64(j.space.id))

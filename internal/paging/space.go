@@ -11,6 +11,9 @@ func (s *Space) ensure(t Thread, vpn int64) []byte {
 		s.mgr.touch(e)
 		s.mgr.leapRecord(s, vpn)
 		s.mgr.Hits.Inc()
+		if s.mgr.migr != nil {
+			s.mgr.migr.RecordTouch(s, vpn)
+		}
 		return s.mgr.frames[e.frame].data
 	}
 	// Loop: under memory pressure the reclaimer can evict the page again
@@ -127,6 +130,9 @@ func (s *Space) TryPage(vpn int64, retry bool) ([]byte, bool) {
 	if !retry {
 		s.mgr.leapRecord(s, vpn)
 		s.mgr.Hits.Inc()
+		if s.mgr.migr != nil {
+			s.mgr.migr.RecordTouch(s, vpn)
+		}
 	}
 	return s.mgr.frames[e.frame].data, true
 }

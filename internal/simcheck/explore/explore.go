@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/migrate"
 	"repro/internal/paging"
 	"repro/internal/sim"
 	"repro/internal/simcheck"
@@ -40,6 +41,14 @@ type Scenario struct {
 
 	Faults faults.Config
 
+	// Migrate is the online page-migration plan (zero value = disabled,
+	// identical to builds without migration support). Sampled only on
+	// multi-node scenarios, where an owner flip means something.
+	Migrate migrate.Config
+	// Skew is the Zipfian key-skew exponent (0 = uniform). When set it is
+	// strictly above 1 — math/rand's Zipf generator rejects s <= 1.
+	Skew float64
+
 	// Strict marks scenarios whose request conservation identity must
 	// balance exactly: everything except a permanent crash with
 	// replicas == 1, whose blast radius legitimately never drains.
@@ -52,9 +61,16 @@ func (sc Scenario) String() string {
 	if spec == "" {
 		spec = "none"
 	}
-	return fmt.Sprintf("scenario %d: mode=%s memnodes=%d replicas=%d array=%dKiB local=%.2f write=%.2f warm=%v rps=%.0f measure=%.1fms faults=[%s]",
+	extra := ""
+	if sc.Migrate.Enabled {
+		extra += fmt.Sprintf(" migrate=[%s]", sc.Migrate.String())
+	}
+	if sc.Skew > 0 {
+		extra += fmt.Sprintf(" skew=%.2f", sc.Skew)
+	}
+	return fmt.Sprintf("scenario %d: mode=%s memnodes=%d replicas=%d array=%dKiB local=%.2f write=%.2f warm=%v rps=%.0f measure=%.1fms faults=[%s]%s",
 		sc.Index, sc.Mode, sc.MemNodes, sc.Replicas, sc.ArrayBytes>>10,
-		sc.LocalFrac, sc.WriteFrac, sc.Warm, sc.RPS, sc.Measure.Micros()/1000, spec)
+		sc.LocalFrac, sc.WriteFrac, sc.Warm, sc.RPS, sc.Measure.Micros()/1000, spec, extra)
 }
 
 // src is a splitmix64 stream: deterministic, allocation-free, and
@@ -156,6 +172,26 @@ func Generate(masterSeed int64, idx int, short bool) Scenario {
 		f.NodeSet = true
 		f.Node = r.intIn(0, sc.MemNodes-1)
 	}
+	// Migration and skew draws are appended after every pre-existing
+	// draw, so older swarms' scenarios keep their exact shape under the
+	// same (seed, idx). The gate draws are unconditional (their results
+	// are discarded on single-node scenarios) for the same reason: the
+	// draw count must not depend on earlier samples.
+	migRoll, skewRoll := r.f64(), r.f64()
+	if migRoll < 0.45 && sc.MemNodes > 1 {
+		sc.Migrate = migrate.Config{
+			Enabled:      true,
+			Epoch:        r.timeIn(sim.Micros(30), sim.Micros(250)),
+			HotThreshold: r.intIn(2, 8),
+			Bandwidth:    0.25 + 2*r.f64(),
+			Imbalance:    1.1 + 0.6*r.f64(),
+			MaxMoves:     r.intIn(8, 128),
+			MinFaults:    r.intIn(4, 32),
+		}
+	}
+	if skewRoll < 0.35 {
+		sc.Skew = 1.05 + 0.6*r.f64()
+	}
 	sc.Strict = !(f.CrashSet && !f.RejoinSet && sc.Replicas == 1)
 	return sc
 }
@@ -212,6 +248,7 @@ func Run(sc Scenario) (res Result) {
 	cfg.MemNodes = sc.MemNodes
 	cfg.Replicas = sc.Replicas
 	cfg.Faults = sc.Faults
+	cfg.Migrate = sc.Migrate
 	// Small capacity so the memnode/capacity audit would notice even a
 	// single-page undercharge relative to a realistic budget.
 	cfg.MemNodeBytes = 64 << 20
@@ -219,6 +256,9 @@ func Run(sc Scenario) (res Result) {
 	sys := core.NewSystem(cfg)
 	app := workload.NewArrayApp(sys.Mgr, sys.Mem, sc.ArrayBytes)
 	app.WriteFrac = sc.WriteFrac
+	if sc.Skew > 0 {
+		app.SetSkew(sc.Skew)
+	}
 	if sc.Warm {
 		app.WarmCache()
 	}
@@ -256,8 +296,11 @@ var classes = []faultClass{
 
 // Shrink greedily minimizes a failing scenario's fault spec: each class
 // is dropped in turn, and stays dropped if the scenario still fails
-// without it. The result reproduces the failure with a (locally)
-// minimal set of fault classes — typically the one that matters.
+// without it. Migration and key skew shrink the same way — if the
+// failure survives with migration off (or the uniform draw back), the
+// report points at the smaller scenario. The result reproduces the
+// failure with a (locally) minimal set of disturbances — typically the
+// one that matters.
 func Shrink(sc Scenario) Scenario {
 	for _, cl := range classes {
 		trial := sc
@@ -265,6 +308,20 @@ func Shrink(sc Scenario) Scenario {
 		cl.disable(&trial.Faults)
 		// Dropping a permanent crash can flip strictness back on.
 		trial.Strict = !(trial.Faults.CrashSet && !trial.Faults.RejoinSet && trial.Replicas == 1)
+		if Run(trial).Failed() {
+			sc = trial
+		}
+	}
+	if sc.Migrate.Enabled {
+		trial := sc
+		trial.Migrate = migrate.Config{}
+		if Run(trial).Failed() {
+			sc = trial
+		}
+	}
+	if sc.Skew > 0 {
+		trial := sc
+		trial.Skew = 0
 		if Run(trial).Failed() {
 			sc = trial
 		}

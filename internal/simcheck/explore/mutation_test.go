@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/migrate"
 	"repro/internal/sim"
 	"repro/internal/simcheck"
 )
@@ -52,6 +53,17 @@ func cases() []mutationCase {
 	replicated.MemNodes = 2
 	replicated.Replicas = 2
 
+	// A scenario guaranteed to land owner flips: four nodes, a skewed
+	// key draw, and a planner with its trigger floor on the ground —
+	// Imbalance 1.0 fires every epoch (max >= mean always holds) and
+	// withDefaults preserves it because it only fills zeros.
+	migrated := base
+	migrated.MemNodes = 4
+	migrated.Skew = 1.3
+	migrated.Warm = false // cold cache: every first touch faults, feeding the planner
+	migrated.Migrate = migrate.Config{Enabled: true, Epoch: sim.Micros(50),
+		HotThreshold: 1, Bandwidth: 4, Imbalance: 1.0, MaxMoves: 64, MinFaults: 1}
+
 	return []mutationCase{
 		{
 			// Reclaimer treats dirty pages as clean: the frame is freed
@@ -84,6 +96,15 @@ func cases() []mutationCase {
 			mutation: "memnode-undercharge",
 			scenario: replicated,
 			oracles:  []string{"memnode/capacity"},
+		},
+		{
+			// A migration commits without re-homing the page: the
+			// migrator's owner ledger says the page moved, the region's
+			// routing table still points at the source. The owner-table
+			// oracle sees the disagreement at audit time.
+			mutation: "migrate_lost_owner",
+			scenario: migrated,
+			oracles:  []string{"migrate/"},
 		},
 	}
 }

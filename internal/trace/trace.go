@@ -29,11 +29,16 @@ const (
 	KindReclaim  Kind = "reclaim"   // reclaimer activity
 	KindStall    Kind = "mem-stall" // memory node unavailable (fault window)
 	KindFailover Kind = "failover"  // fetch re-routed to a replica node
+	KindMigrate  Kind = "migrate"   // hot-page migration copy + owner flip
 )
 
 // TidFailover is the track id for failover-read instants, between the
 // reclaimer lane (2000) and the per-memory-node stall lanes (3000+k).
 const TidFailover = 2500
+
+// TidMigrate is the track id for page-migration spans, between the
+// failover lane and the per-memory-node stall lanes.
+const TidMigrate = 2600
 
 // event is one Chrome trace "complete" event (ph=X). High-rate spans
 // (one per request, one per RX batch) are recorded in typed form — the
@@ -227,6 +232,8 @@ func (r *Recorder) WriteJSON(w io.Writer, workers, dispatchers int) error {
 		PID: 1, TID: 2000, Args: map[string]any{"name": "reclaimer"}})
 	all = append(all, threadName{Name: "thread_name", Ph: "M",
 		PID: 1, TID: TidFailover, Args: map[string]any{"name": "failover"}})
+	all = append(all, threadName{Name: "thread_name", Ph: "M",
+		PID: 1, TID: TidMigrate, Args: map[string]any{"name": "migrate"}})
 	for _, tn := range r.tracks {
 		all = append(all, tn)
 	}

@@ -37,8 +37,9 @@ func TestSpanAndJSONShape(t *testing.T) {
 	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
 		t.Fatalf("not valid JSON: %v", err)
 	}
-	// 8 worker names + 1 dispatcher + reclaimer + failover + 3 events.
-	if len(events) != 8+1+1+1+3 {
+	// 8 worker names + 1 dispatcher + reclaimer + failover + migrate
+	// + 3 events.
+	if len(events) != 8+1+1+1+1+3 {
 		t.Fatalf("events = %d", len(events))
 	}
 	var run map[string]any

@@ -35,6 +35,14 @@ type ArrayApp struct {
 	// seeded value — so the Mismatches oracle stays valid alongside them.
 	WriteFrac float64
 
+	// Dist overrides the index distribution (nil = uniform, the paper's
+	// microbenchmark). A skewed distribution (e.g. *Zipfian) concentrates
+	// faults on the nodes holding the hot pages — the imbalance the
+	// migration subsystem rebalances. The uniform draw is only replaced
+	// when Dist is set, so nil runs consume the identical RNG stream as
+	// builds without this field — goldens stay byte-for-byte.
+	Dist KeyDist
+
 	// Mismatches counts responses whose value did not match the seeded
 	// expectation — data-plane corruption, asserted zero by tests.
 	Mismatches stats.Counter
@@ -97,12 +105,37 @@ func (a *ArrayApp) WarmCache() {
 // Name implements App.
 func (a *ArrayApp) Name() string { return "array-indirection" }
 
-// NextRequest implements App: a uniformly random index, read or (with
-// probability WriteFrac) written. The write draw is only taken when
-// WriteFrac > 0, so read-only runs consume the identical RNG stream as
-// builds without the write path — goldens stay byte-for-byte.
+// Entries returns the number of 8-byte array entries (the key-space
+// size a Dist must draw from).
+func (a *ArrayApp) Entries() int64 { return a.entries }
+
+// SetSkew installs a Zipfian index distribution with exponent s over
+// the full array (s <= 0 restores the uniform draw). It exists so
+// harnesses can apply a CLI-level skew knob to any app that supports
+// one without knowing the app's key-space size.
+func (a *ArrayApp) SetSkew(s float64) {
+	if s > 0 {
+		a.Dist = &Zipfian{Keys: a.entries, S: s}
+	} else {
+		a.Dist = nil
+	}
+}
+
+// NextRequest implements App: a random index (uniform, or Dist when
+// set), read or (with probability WriteFrac) written. The write draw is
+// only taken when WriteFrac > 0, so read-only runs consume the
+// identical RNG stream as builds without the write path — goldens stay
+// byte-for-byte.
 func (a *ArrayApp) NextRequest(rng *sim.RNG) (any, int) {
-	idx := rng.Int63n(a.entries)
+	var idx int64
+	if a.Dist != nil {
+		idx = a.Dist.Next(rng)
+		if idx >= a.entries {
+			idx = a.entries - 1
+		}
+	} else {
+		idx = rng.Int63n(a.entries)
+	}
 	if a.WriteFrac > 0 && rng.Bool(a.WriteFrac) {
 		return ArrayPut{Index: idx}, a.ReqBytes
 	}
